@@ -1,0 +1,219 @@
+// Benchmarks that regenerate every table and figure in the paper's
+// evaluation (DESIGN.md §4 maps each to its experiment). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment (training the Tao
+// protocols it needs — cached across benchmarks within one run — and
+// sweeping the testing scenarios), prints the regenerated table via
+// b.Logf (visible with -v), and reports the headline quantities as
+// benchmark metrics so regressions in the *shape* of a result are
+// visible in CI output.
+package learnability_test
+
+import (
+	"testing"
+
+	"learnability"
+)
+
+// benchEffort is the fidelity used by the figure benchmarks.
+func benchEffort() learnability.Effort { return learnability.QuickEffort() }
+
+func BenchmarkFigure1Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunCalibration(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		tao, cub := res.Row("Tao"), res.Row("Cubic")
+		omni := res.Row("Omniscient")
+		if tao != nil && cub != nil && omni != nil {
+			b.ReportMetric(tao.MeanObjective-cub.MeanObjective, "tao-minus-cubic-obj")
+			b.ReportMetric(tao.MedianTptBps/omni.MedianTptBps, "tao-over-omniscient-tpt")
+		}
+	}
+}
+
+func BenchmarkFigure2LinkSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunLinkSpeed(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		// Headline: the broad Tao vs the narrow Tao inside 22-44 Mbps,
+		// and the broad Tao vs Cubic over the full range.
+		broad := res.MeanObjectiveInRange("Tao-1000x", 20, 50)
+		narrow := res.MeanObjectiveInRange("Tao-2x", 20, 50)
+		cubic := res.MeanObjectiveInRange("Cubic", 1, 1000)
+		broadFull := res.MeanObjectiveInRange("Tao-1000x", 1, 1000)
+		b.ReportMetric(narrow-broad, "narrow-minus-broad-in-range")
+		b.ReportMetric(broadFull-cubic, "broad-minus-cubic-full-range")
+	}
+}
+
+func BenchmarkFigure3Multiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunMultiplexing(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		if lo, ok := res.ObjectiveAt("5bdp", "Tao-1-2", 1); ok {
+			if hi, ok2 := res.ObjectiveAt("5bdp", "Tao-1-100", 1); ok2 {
+				b.ReportMetric(lo-hi, "narrow-minus-broad-at-1-sender")
+			}
+		}
+		if lo, ok := res.ObjectiveAt("5bdp", "Tao-1-2", 100); ok {
+			if hi, ok2 := res.ObjectiveAt("5bdp", "Tao-1-100", 100); ok2 {
+				b.ReportMetric(hi-lo, "broad-minus-narrow-at-100-senders")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure4PropDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunPropDelay(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		exact := res.MeanObjectiveInRange("Tao-rtt-150", 1, 49)
+		dithered := res.MeanObjectiveInRange("Tao-rtt-145-155", 1, 49)
+		broad := res.MeanObjectiveInRange("Tao-rtt-50-250", 50, 250)
+		b.ReportMetric(dithered-exact, "dithered-minus-exact-below-50ms")
+		b.ReportMetric(broad, "broad-50-250ms")
+	}
+}
+
+func BenchmarkFigure6ParkingLot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunStructure(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		one := res.MeanEqualTpt("Tao-one-bottleneck")
+		two := res.MeanEqualTpt("Tao-two-bottleneck")
+		cub := res.MeanEqualTpt("Cubic")
+		if two > 0 {
+			b.ReportMetric(one/two, "one-bneck-over-two-bneck-tpt")
+		}
+		if cub > 0 {
+			b.ReportMetric(one/cub, "one-bneck-over-cubic-tpt")
+		}
+	}
+}
+
+func BenchmarkFigure7TCPAwareness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunTCPAware(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		nh := res.Row("homogeneous", "Tao-TCP-naive")
+		ah := res.Row("homogeneous", "Tao-TCP-aware")
+		nm := res.Row("vs-NewReno", "Tao-TCP-naive")
+		am := res.Row("vs-NewReno", "Tao-TCP-aware")
+		if nh != nil && ah != nil && nh.MedianDelaySec > 0 {
+			b.ReportMetric(ah.MedianDelaySec/nh.MedianDelaySec, "aware-over-naive-homog-delay")
+		}
+		if nm != nil && am != nil && nm.MedianTptBps > 0 {
+			b.ReportMetric(am.MedianTptBps/nm.MedianTptBps, "aware-over-naive-vs-tcp-tpt")
+		}
+	}
+}
+
+func BenchmarkFigure8TimeDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunTimeDomain(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		for _, name := range []string{"Tao-TCP-aware", "Tao-TCP-naive"} {
+			if tr := res.Trace(name); tr != nil {
+				b.ReportMetric(tr.MeanQueueBetween(5, 10), name+"-queue-during-tcp")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure9Diversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunDiversity(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		nd := res.Row("naive", "mixed", "Del")
+		cd := res.Row("co-optimized", "mixed", "Del")
+		nt := res.Row("naive", "alone", "Tpt")
+		ct := res.Row("co-optimized", "alone", "Tpt")
+		if nd != nil && cd != nil && cd.QueueMs > 0 {
+			b.ReportMetric(nd.QueueMs/cd.QueueMs, "del-delay-improvement-from-coopt")
+		}
+		if nt != nil && ct != nil && nt.TptMbps > 0 {
+			b.ReportMetric(ct.TptMbps/nt.TptMbps, "tpt-sender-cost-of-playing-nice")
+		}
+	}
+}
+
+func BenchmarkSignalKnockout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunKnockout(benchEffort(), nil)
+		b.Logf("\n%s\nmost valuable signal: %s", res.Table(), res.MostValuableSignal())
+		all := res.Row("")
+		rec := res.Row("rec_ewma")
+		if all != nil && rec != nil {
+			b.ReportMetric(all.MeanObjective-rec.MeanObjective, "value-of-rec-ewma")
+		}
+	}
+}
+
+// BenchmarkTrainer measures the protocol-design search itself (one
+// tiny generation).
+func BenchmarkTrainer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := &learnability.Trainer{
+			Cfg: learnability.TrainConfig{
+				Topology:     learnability.DumbbellTopology,
+				LinkSpeedMin: 10 * learnability.Mbps,
+				LinkSpeedMax: 100 * learnability.Mbps,
+				MinRTTMin:    150 * learnability.Millisecond,
+				MinRTTMax:    150 * learnability.Millisecond,
+				SendersMin:   2,
+				SendersMax:   2,
+				MeanOn:       learnability.Second,
+				MeanOff:      learnability.Second,
+				Buffering:    learnability.FiniteDropTail,
+				BufferBDP:    5,
+				Delta:        1,
+				Duration:     5 * learnability.Second,
+				Replicas:     2,
+			},
+			Seed: uint64(i),
+		}
+		tree := tr.Train(learnability.TrainBudget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2})
+		if tree.Len() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkScenarioRun measures raw simulation throughput: one 30-s
+// two-sender Cubic dumbbell.
+func BenchmarkScenarioRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := learnability.Spec{
+			Topology:  learnability.DumbbellTopology,
+			LinkSpeed: 32 * learnability.Mbps,
+			MinRTT:    150 * learnability.Millisecond,
+			Buffering: learnability.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    learnability.Second,
+			MeanOff:   learnability.Second,
+			Duration:  30 * learnability.Second,
+			Seed:      learnability.NewSeed(uint64(i)),
+			Senders: []learnability.SpecSender{
+				{Alg: learnability.NewCubic(), Delta: 1},
+				{Alg: learnability.NewCubic(), Delta: 1},
+			},
+		}
+		learnability.RunScenario(spec)
+	}
+}
+
+// BenchmarkVegasSqueeze regenerates the §4.5 premise: Vegas holds its
+// own against itself but is squeezed out by loss-triggered TCP.
+func BenchmarkVegasSqueeze(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := learnability.RunVegasSqueeze(benchEffort(), nil)
+		b.Logf("\n%s", res.Table())
+		sq := res.Row("vs-NewReno", "Vegas")
+		reno := res.Row("vs-NewReno", "NewReno")
+		if sq != nil && reno != nil && reno.TptMbps > 0 {
+			b.ReportMetric(sq.TptMbps/reno.TptMbps, "vegas-share-vs-newreno")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command learnability regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	learnability -exp fig1            # calibration (Table 1 / Figure 1)
+//	learnability -exp fig2            # link-speed operating range
+//	learnability -exp fig3            # degree of multiplexing
+//	learnability -exp fig4            # propagation delay
+//	learnability -exp fig6            # structural knowledge (parking lot)
+//	learnability -exp fig7            # TCP-awareness
+//	learnability -exp fig8            # time-domain queue trace
+//	learnability -exp fig9            # sender diversity
+//	learnability -exp knockout        # §3.4 signal knockout
+//	learnability -exp vegas           # §4.5 Vegas squeeze-out premise
+//	learnability -exp all             # everything
+//
+// -effort quick|default trades fidelity for wall-clock time; -v streams
+// training progress; -csv DIR additionally writes each experiment's
+// full dataset as DIR/<exp>.csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"learnability/internal/core"
+)
+
+// result is what every experiment produces: a rendered table and a
+// CSV dump.
+type result interface {
+	Table() string
+	WriteCSV(io.Writer) error
+}
+
+// plotter is implemented by sweep results that can render an ASCII
+// chart of the corresponding figure.
+type plotter interface {
+	Plot() string
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiments to run (comma-separated): fig1,fig2,fig3,fig4,fig6,fig7,fig8,fig9,knockout,vegas,unified,all")
+		effort  = flag.String("effort", "default", "effort preset: quick or default")
+		seed    = flag.Uint64("seed", 1, "root seed (determinism)")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV datasets")
+		plots   = flag.Bool("plot", false, "also render ASCII charts for the sweep figures")
+		verbose = flag.Bool("v", false, "stream training progress to stderr")
+	)
+	flag.Parse()
+
+	var e core.Effort
+	switch *effort {
+	case "quick":
+		e = core.QuickEffort()
+	case "default":
+		e = core.DefaultEffort()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown effort %q\n", *effort)
+		os.Exit(2)
+	}
+	e.Seed = *seed
+
+	var log func(string, ...any)
+	if *verbose {
+		log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+
+	type experiment struct {
+		name, title string
+		run         func() result
+	}
+	experiments := []experiment{
+		{"fig1", "Calibration (Table 1 / Figure 1)",
+			func() result { return core.RunCalibration(e, log) }},
+		{"fig2", "Knowledge of link speed (Table 2 / Figure 2) — normalized objective",
+			func() result { return core.RunLinkSpeed(e, log) }},
+		{"fig3", "Knowledge of the degree of multiplexing (Table 3 / Figure 3)",
+			func() result { return core.RunMultiplexing(e, log) }},
+		{"fig4", "Knowledge of propagation delay (Table 4 / Figure 4)",
+			func() result { return core.RunPropDelay(e, log) }},
+		{"fig6", "Structural knowledge (Table 5 / Figures 5-6) — flow 1 throughput",
+			func() result { return core.RunStructure(e, log) }},
+		{"fig7", "Knowledge about incumbent endpoints (Table 6 / Figure 7)",
+			func() result { return core.RunTCPAware(e, log) }},
+		{"fig8", "Time-domain behavior (Figure 8)",
+			func() result { return core.RunTimeDomain(e, log) }},
+		{"fig9", "The price of sender diversity (Table 7 / Figure 9)",
+			func() result { return core.RunDiversity(e, log) }},
+		{"knockout", "Value of congestion signals (§3.4)",
+			func() result { return core.RunKnockout(e, log) }},
+		{"vegas", "Vegas squeeze-out premise (§4.5)",
+			func() result { return core.RunVegasSqueeze(e, log) }},
+		{"unified", "One-size-fits-all Tao across all axes (extension; §5 open question)",
+			func() result { return core.RunUnified(e, log) }},
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "csv dir:", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := 0
+	for _, ex := range experiments {
+		if !want["all"] && !want[ex.name] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", ex.name, ex.title)
+		res := ex.run()
+		fmt.Println(res.Table())
+		if *plots {
+			if p, ok := res.(plotter); ok {
+				fmt.Println(p.Plot())
+			}
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, core.CSVName(ex.name))
+			fh, err := os.Create(path)
+			if err == nil {
+				err = res.WriteCSV(fh)
+				if cerr := fh.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(dataset written to %s)\n\n", path)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

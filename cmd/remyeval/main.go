@@ -1,0 +1,113 @@
+// Command remyeval evaluates a trained Tao protocol (whisker-tree
+// JSON from remytrain) on a testing sweep, alongside the TCP
+// baselines, and prints throughput, delay, and the paper's objective
+// per point.
+//
+// Example:
+//
+//	remyeval -tree tao10x.json -speed-min 1 -speed-max 1000 -points 9
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"learnability/internal/cc"
+	"learnability/internal/cc/cubic"
+	"learnability/internal/cc/newreno"
+	"learnability/internal/cc/remycc"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+func main() {
+	var (
+		treePath = flag.String("tree", "", "whisker-tree JSON (required)")
+		speedMin = flag.Float64("speed-min", 10, "sweep start (Mbps)")
+		speedMax = flag.Float64("speed-max", 100, "sweep end (Mbps)")
+		points   = flag.Int("points", 5, "sweep points (log-spaced)")
+		rtt      = flag.Float64("rtt", 150, "minimum RTT (ms)")
+		senders  = flag.Int("senders", 2, "number of senders")
+		meanOn   = flag.Float64("on", 1, "mean on time (s)")
+		meanOff  = flag.Float64("off", 1, "mean off time (s)")
+		bufBDP   = flag.Float64("buffer-bdp", 5, "buffer in BDPs; 0 = no-drop")
+		delta    = flag.Float64("delta", 1, "objective delay weight")
+		dur      = flag.Float64("duration", 30, "simulated seconds per run")
+		replicas = flag.Int("replicas", 4, "runs per point")
+		seed     = flag.Uint64("seed", 1, "evaluation seed")
+	)
+	flag.Parse()
+
+	if *treePath == "" {
+		fmt.Fprintln(os.Stderr, "remyeval: -tree is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*treePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "read:", err)
+		os.Exit(1)
+	}
+	var tree remycc.Tree
+	if err := json.Unmarshal(data, &tree); err != nil {
+		fmt.Fprintln(os.Stderr, "parse:", err)
+		os.Exit(1)
+	}
+
+	buffering := scenario.FiniteDropTail
+	if *bufBDP == 0 {
+		buffering = scenario.NoDrop
+	}
+
+	protos := []struct {
+		name string
+		mk   func() cc.Algorithm
+	}{
+		{"Tao", func() cc.Algorithm { return remycc.New(&tree) }},
+		{"Cubic", func() cc.Algorithm { return cubic.New() }},
+		{"NewReno", func() cc.Algorithm { return newreno.New() }},
+	}
+
+	fmt.Printf("%-12s %-10s %12s %12s %10s\n", "speed(Mbps)", "protocol", "tpt(Mbps)", "delay(ms)", "objective")
+	for i := 0; i < *points; i++ {
+		frac := 0.0
+		if *points > 1 {
+			frac = float64(i) / float64(*points-1)
+		}
+		mbps := *speedMin * math.Pow(*speedMax / *speedMin, frac)
+		for _, p := range protos {
+			var tpts, delays, objs []float64
+			root := rng.New(*seed).Split(p.name).SplitN("pt", i)
+			for rep := 0; rep < *replicas; rep++ {
+				spec := scenario.Spec{
+					Topology:  scenario.Dumbbell,
+					LinkSpeed: units.Rate(mbps) * units.Mbps,
+					MinRTT:    units.DurationFromSeconds(*rtt / 1e3),
+					Buffering: buffering,
+					BufferBDP: *bufBDP,
+					MeanOn:    units.DurationFromSeconds(*meanOn),
+					MeanOff:   units.DurationFromSeconds(*meanOff),
+					Duration:  units.DurationFromSeconds(*dur),
+					Seed:      root.SplitN("rep", rep),
+				}
+				for s := 0; s < *senders; s++ {
+					spec.Senders = append(spec.Senders, scenario.Sender{Alg: p.mk(), Delta: *delta})
+				}
+				for _, r := range scenario.Run(spec) {
+					if r.OnTime == 0 {
+						continue
+					}
+					tpts = append(tpts, float64(r.Throughput)/1e6)
+					delays = append(delays, r.Delay.Seconds()*1e3)
+					objs = append(objs, stats.Objective(r.Throughput, r.Delay, *delta))
+				}
+			}
+			fmt.Printf("%-12.2f %-10s %12.3f %12.1f %10.3f\n",
+				mbps, p.name, stats.Mean(tpts), stats.Mean(delays), stats.Mean(objs))
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command remytrain runs the Remy protocol-design search over a
+// training-scenario distribution and writes the resulting Tao
+// protocol's whisker tree as JSON.
+//
+// Example (the paper's Tao-10x from Table 2a):
+//
+//	remytrain -speed-min 10 -speed-max 100 -rtt 150 -senders 2 \
+//	          -buffer-bdp 5 -generations 4 -o tao10x.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+func main() {
+	var (
+		speedMin   = flag.Float64("speed-min", 10, "minimum link speed (Mbps), drawn log-uniformly")
+		speedMax   = flag.Float64("speed-max", 100, "maximum link speed (Mbps)")
+		rttMin     = flag.Float64("rtt", 150, "minimum RTT (ms); lower end if -rtt-max set")
+		rttMax     = flag.Float64("rtt-max", 0, "upper end of the minimum-RTT range (ms); 0 = same as -rtt")
+		sendersMin = flag.Int("senders-min", 2, "minimum number of senders")
+		sendersMax = flag.Int("senders", 2, "maximum number of senders")
+		meanOn     = flag.Float64("on", 1, "mean on time (s)")
+		meanOff    = flag.Float64("off", 1, "mean off time (s)")
+		bufBDP     = flag.Float64("buffer-bdp", 5, "gateway buffer in bandwidth-delay products; 0 = no-drop")
+		delta      = flag.Float64("delta", 1, "objective delay weight")
+		aimdProb   = flag.Float64("aimd-prob", 0, "probability one sender is AIMD TCP (TCP-aware training)")
+		knockout   = flag.String("knockout", "", "signal to remove: rec_ewma, slow_rec_ewma, send_ewma, rtt_ratio")
+		gens       = flag.Int("generations", 3, "whisker-split rounds")
+		passes     = flag.Int("passes", 2, "action-optimization passes per generation")
+		moves      = flag.Int("moves", 6, "hill-climb moves per whisker")
+		replicas   = flag.Int("replicas", 4, "scenario draws per evaluation")
+		dur        = flag.Float64("duration", 12, "simulated seconds per training run")
+		seed       = flag.Uint64("seed", 1, "training seed")
+		workers    = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		out        = flag.String("o", "tao.json", "output file for the whisker tree")
+		verbose    = flag.Bool("v", true, "stream search progress")
+	)
+	flag.Parse()
+
+	mask := remycc.AllSignals()
+	switch *knockout {
+	case "":
+	case "rec_ewma":
+		mask = mask.Without(remycc.RecEWMA)
+	case "slow_rec_ewma":
+		mask = mask.Without(remycc.SlowRecEWMA)
+	case "send_ewma":
+		mask = mask.Without(remycc.SendEWMA)
+	case "rtt_ratio":
+		mask = mask.Without(remycc.RTTRatio)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown signal %q\n", *knockout)
+		os.Exit(2)
+	}
+
+	buffering := scenario.FiniteDropTail
+	if *bufBDP == 0 {
+		buffering = scenario.NoDrop
+	}
+	rttHi := *rttMax
+	if rttHi == 0 {
+		rttHi = *rttMin
+	}
+	cfg := remy.Config{
+		Topology:     scenario.Dumbbell,
+		LinkSpeedMin: units.Rate(*speedMin) * units.Mbps,
+		LinkSpeedMax: units.Rate(*speedMax) * units.Mbps,
+		MinRTTMin:    units.DurationFromSeconds(*rttMin / 1e3),
+		MinRTTMax:    units.DurationFromSeconds(rttHi / 1e3),
+		SendersMin:   *sendersMin,
+		SendersMax:   *sendersMax,
+		AIMDProb:     *aimdProb,
+		MeanOn:       units.DurationFromSeconds(*meanOn),
+		MeanOff:      units.DurationFromSeconds(*meanOff),
+		Buffering:    buffering,
+		BufferBDP:    *bufBDP,
+		Delta:        *delta,
+		Mask:         mask,
+		Duration:     units.DurationFromSeconds(*dur),
+		Replicas:     *replicas,
+	}
+
+	tr := &remy.Trainer{Cfg: cfg, Seed: *seed, Workers: *workers}
+	if *verbose {
+		tr.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	tree := tr.Train(remy.Budget{Generations: *gens, OptPasses: *passes, MovesPerWhisker: *moves})
+
+	data, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained %d whiskers -> %s\n", tree.Len(), *out)
+}

@@ -1,0 +1,94 @@
+// Linkspeed: a small version of the paper's Figure 2 ("is there a
+// tradeoff between operating range and performance?"). It trains a
+// narrow-range Tao (22-44 Mbps) and a broad-range Tao (1-1000 Mbps),
+// then sweeps the testing link speed and prints the normalized
+// objective for both, plus Cubic, at each point. Expect the narrow Tao
+// to win modestly inside 22-44 Mbps and fall off outside it, while the
+// broad Tao stays usable everywhere.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"learnability"
+)
+
+func train(name string, lo, hi learnability.Rate) *learnability.Tree {
+	fmt.Printf("training %s for %.0f-%.0f Mbps...\n", name, float64(lo)/1e6, float64(hi)/1e6)
+	trainer := &learnability.Trainer{
+		Cfg: learnability.TrainConfig{
+			Topology:     learnability.DumbbellTopology,
+			LinkSpeedMin: lo,
+			LinkSpeedMax: hi,
+			MinRTTMin:    150 * learnability.Millisecond,
+			MinRTTMax:    150 * learnability.Millisecond,
+			SendersMin:   2,
+			SendersMax:   2,
+			MeanOn:       1 * learnability.Second,
+			MeanOff:      1 * learnability.Second,
+			Buffering:    learnability.FiniteDropTail,
+			BufferBDP:    5,
+			Delta:        1,
+			Duration:     10 * learnability.Second,
+			Replicas:     2,
+		},
+		Seed: 9,
+	}
+	return trainer.Train(learnability.DefaultTrainBudget())
+}
+
+func main() {
+	narrow := train("Tao-2x", 22*learnability.Mbps, 44*learnability.Mbps)
+	broad := train("Tao-1000x", 1*learnability.Mbps, 1000*learnability.Mbps)
+
+	contenders := []struct {
+		name string
+		mk   func() learnability.Algorithm
+	}{
+		{"Tao-2x", func() learnability.Algorithm { return learnability.NewRemyCC(narrow) }},
+		{"Tao-1000x", func() learnability.Algorithm { return learnability.NewRemyCC(broad) }},
+		{"Cubic", learnability.NewCubic},
+	}
+
+	speeds := []float64{1, 4, 16, 32, 64, 250, 1000} // Mbps
+	fmt.Printf("\n%-12s", "speed(Mbps)")
+	for _, c := range contenders {
+		fmt.Printf(" %12s", c.name)
+	}
+	fmt.Println("   (mean log(tpt) - log(delay), higher is better)")
+
+	for _, mbps := range speeds {
+		fmt.Printf("%-12.0f", mbps)
+		for _, c := range contenders {
+			spec := learnability.Spec{
+				Topology:  learnability.DumbbellTopology,
+				LinkSpeed: learnability.Rate(mbps) * learnability.Mbps,
+				MinRTT:    150 * learnability.Millisecond,
+				Buffering: learnability.FiniteDropTail,
+				BufferBDP: 5,
+				MeanOn:    1 * learnability.Second,
+				MeanOff:   1 * learnability.Second,
+				Duration:  20 * learnability.Second,
+				Seed:      learnability.NewSeed(uint64(mbps)),
+				Senders: []learnability.SpecSender{
+					{Alg: c.mk(), Delta: 1},
+					{Alg: c.mk(), Delta: 1},
+				},
+			}
+			obj, n := 0.0, 0
+			for _, r := range learnability.RunScenario(spec) {
+				if r.OnTime == 0 {
+					continue
+				}
+				obj += math.Log(float64(r.Throughput)) - math.Log(r.Delay.Seconds())
+				n++
+			}
+			if n > 0 {
+				obj /= float64(n)
+			}
+			fmt.Printf(" %12.3f", obj)
+		}
+		fmt.Println()
+	}
+}

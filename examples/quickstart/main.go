@@ -1,0 +1,79 @@
+// Quickstart: train a small Tao congestion-control protocol for a
+// 10-100 Mbps dumbbell, then race it against TCP Cubic and NewReno on
+// a network drawn from that range, printing throughput, delay, and the
+// paper's objective for each.
+package main
+
+import (
+	"fmt"
+
+	"learnability"
+)
+
+func main() {
+	// 1. Describe the designer's (imperfect) model of the network:
+	//    a dumbbell with two senders, 10-100 Mbps, 150 ms RTT,
+	//    1-second on/off workload, 5 BDP of FIFO buffering.
+	cfg := learnability.TrainConfig{
+		Topology:     learnability.DumbbellTopology,
+		LinkSpeedMin: 10 * learnability.Mbps,
+		LinkSpeedMax: 100 * learnability.Mbps,
+		MinRTTMin:    150 * learnability.Millisecond,
+		MinRTTMax:    150 * learnability.Millisecond,
+		SendersMin:   2,
+		SendersMax:   2,
+		MeanOn:       1 * learnability.Second,
+		MeanOff:      1 * learnability.Second,
+		Buffering:    learnability.FiniteDropTail,
+		BufferBDP:    5,
+		Delta:        1, // weigh throughput and delay equally
+		Duration:     10 * learnability.Second,
+		Replicas:     2,
+	}
+
+	// 2. Run the Remy search for a few generations.
+	fmt.Println("training a Tao protocol (a few seconds)...")
+	trainer := &learnability.Trainer{Cfg: cfg, Seed: 42}
+	tao := trainer.Train(learnability.DefaultTrainBudget())
+	fmt.Printf("trained a whisker tree with %d rules\n\n", tao.Len())
+
+	// 3. Evaluate Tao, Cubic, and NewReno on a 32 Mbps draw from the
+	//    design range.
+	contenders := []struct {
+		name string
+		mk   func() learnability.Algorithm
+	}{
+		{"Tao", func() learnability.Algorithm { return learnability.NewRemyCC(tao) }},
+		{"Cubic", learnability.NewCubic},
+		{"NewReno", learnability.NewNewReno},
+	}
+	fmt.Printf("%-8s %14s %14s %14s\n", "protocol", "tpt/flow(Mbps)", "delay(ms)", "queue(ms)")
+	for _, c := range contenders {
+		spec := learnability.Spec{
+			Topology:  learnability.DumbbellTopology,
+			LinkSpeed: 32 * learnability.Mbps,
+			MinRTT:    150 * learnability.Millisecond,
+			Buffering: learnability.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    1 * learnability.Second,
+			MeanOff:   1 * learnability.Second,
+			Duration:  30 * learnability.Second,
+			Seed:      learnability.NewSeed(7),
+			Senders: []learnability.SpecSender{
+				{Alg: c.mk(), Delta: 1},
+				{Alg: c.mk(), Delta: 1},
+			},
+		}
+		results := learnability.RunScenario(spec)
+		var tpt, delay, queue float64
+		for _, r := range results {
+			tpt += float64(r.Throughput) / 1e6
+			delay += r.Delay.Seconds() * 1e3
+			queue += r.QueueDelay.Seconds() * 1e3
+		}
+		n := float64(len(results))
+		fmt.Printf("%-8s %14.2f %14.1f %14.1f\n", c.name, tpt/n, delay/n, queue/n)
+	}
+	fmt.Println("\nThe Tao should match or beat the TCP baselines on throughput")
+	fmt.Println("while keeping queueing delay an order of magnitude lower.")
+}

@@ -1,0 +1,104 @@
+package cc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAFirstSampleSetsValue(t *testing.T) {
+	e := NewEWMA(1.0 / 8)
+	if e.Initialized() {
+		t.Fatal("zero EWMA should be uninitialized")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("Value = %v, want 10", e.Value())
+	}
+	if !e.Initialized() {
+		t.Fatal("should be initialized after Observe")
+	}
+}
+
+func TestEWMAGain(t *testing.T) {
+	e := NewEWMA(1.0 / 8)
+	e.Observe(0)
+	e.Observe(8)
+	if e.Value() != 1 {
+		t.Fatalf("Value = %v, want 1 (0 + (8-0)/8)", e.Value())
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e := NewEWMA(1.0 / 8)
+	for i := 0; i < 200; i++ {
+		e.Observe(5)
+	}
+	if math.Abs(e.Value()-5) > 1e-9 {
+		t.Fatalf("Value = %v, want 5", e.Value())
+	}
+}
+
+func TestEWMAWithinHullProperty(t *testing.T) {
+	// The average always stays within [min sample, max sample].
+	// Samples are constrained to the magnitude of real congestion
+	// signals (seconds-scale values), where the update is numerically
+	// exact.
+	f := func(raw []float64) bool {
+		e := NewEWMA(1.0 / 256)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s := math.Mod(v, 1000) // seconds-scale signal values
+			e.Observe(s)
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(3)
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestEWMABadGainPanics(t *testing.T) {
+	for _, g := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) should panic", g)
+				}
+			}()
+			NewEWMA(g)
+		}()
+	}
+}
+
+func TestClampWindow(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, MinWindow},
+		{-5, MinWindow},
+		{0.5, MinWindow},
+		{2.5, 2.5},
+		{MaxWindow * 2, MaxWindow},
+	}
+	for _, c := range cases {
+		if got := ClampWindow(c.in); got != c.want {
+			t.Errorf("ClampWindow(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

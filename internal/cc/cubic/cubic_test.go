@@ -1,0 +1,144 @@
+package cubic
+
+import (
+	"testing"
+
+	"learnability/internal/cc"
+	"learnability/internal/units"
+)
+
+func fb(n int, now units.Time) cc.Feedback {
+	return cc.Feedback{NewlyAcked: n, RTT: 100 * units.Millisecond}
+}
+
+func TestSlowStartGrowth(t *testing.T) {
+	cb := New()
+	w0 := cb.Window()
+	cb.OnACK(0, fb(int(w0), 0))
+	if cb.Window() != 2*w0 {
+		t.Fatalf("slow start: Window = %v, want %v", cb.Window(), 2*w0)
+	}
+}
+
+func TestLossReducesByBeta(t *testing.T) {
+	cb := New()
+	for i := 0; i < 5; i++ {
+		cb.OnACK(0, fb(int(cb.Window()), 0))
+	}
+	w := cb.Window()
+	cb.OnLoss(0)
+	want := w * beta
+	if got := cb.Window(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("Window after loss = %v, want %v", got, want)
+	}
+}
+
+func TestCubicRegrowthTowardWMax(t *testing.T) {
+	cb := New()
+	// Grow to ~64, then lose.
+	for i := 0; i < 5; i++ {
+		cb.OnACK(0, fb(int(cb.Window()), 0))
+	}
+	wMax := cb.Window()
+	cb.OnLoss(0)
+	// Feed ACKs over simulated time; the window must approach wMax
+	// with a concave profile (fast at first, slower near wMax).
+	now := units.Time(0)
+	var w25, w75 units.Time // times at which 25% and 75% of the gap closed
+	start := cb.Window()
+	for i := 0; i < 20000 && cb.Window() < wMax*0.98; i++ {
+		now = now.Add(10 * units.Millisecond)
+		cb.OnACK(now, fb(1, now))
+		done := (cb.Window() - start) / (wMax - start)
+		if w25 == 0 && done >= 0.25 {
+			w25 = now
+		}
+		if w75 == 0 && done >= 0.75 {
+			w75 = now
+		}
+	}
+	if cb.Window() < wMax*0.9 {
+		t.Fatalf("window never regrew: %v vs wMax %v", cb.Window(), wMax)
+	}
+	if w25 == 0 || w75 == 0 {
+		t.Fatal("growth milestones not reached")
+	}
+	// Concavity: the first quarter of the gap closes faster than the
+	// third quarter takes in total time.
+	if w75-w25 < w25 {
+		t.Fatalf("growth not concave: 25%% at %v, 75%% at %v", w25, w75)
+	}
+}
+
+func TestFastConvergence(t *testing.T) {
+	cb := New()
+	for i := 0; i < 5; i++ {
+		cb.OnACK(0, fb(int(cb.Window()), 0))
+	}
+	cb.OnLoss(0)
+	w1 := cb.Window()
+	// A second loss while below the previous wMax triggers fast
+	// convergence: the recorded wMax is reduced below the current
+	// window's natural value.
+	cb.OnLoss(0)
+	if cb.wMax >= w1 {
+		t.Fatalf("fast convergence did not shrink wMax: %v >= %v", cb.wMax, w1)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	cb := New()
+	for i := 0; i < 5; i++ {
+		cb.OnACK(0, fb(int(cb.Window()), 0))
+	}
+	cb.OnTimeout(0)
+	if cb.Window() != 1 {
+		t.Fatalf("Window after timeout = %v, want 1", cb.Window())
+	}
+}
+
+func TestWindowFloor(t *testing.T) {
+	cb := New()
+	for i := 0; i < 20; i++ {
+		cb.OnLoss(0)
+	}
+	if cb.Window() < 2 {
+		t.Fatalf("window below floor: %v", cb.Window())
+	}
+}
+
+func TestReset(t *testing.T) {
+	cb := New()
+	for i := 0; i < 5; i++ {
+		cb.OnACK(0, fb(int(cb.Window()), 0))
+	}
+	cb.OnLoss(0)
+	cb.Reset(0)
+	if cb.Window() != initialWindow {
+		t.Fatalf("Reset window = %v", cb.Window())
+	}
+}
+
+func TestNoPacing(t *testing.T) {
+	if New().PacingInterval() != 0 {
+		t.Fatal("Cubic should not pace")
+	}
+}
+
+func TestTCPFriendlyRegionFloorsGrowth(t *testing.T) {
+	// Right after a loss at a small window, the cubic curve is nearly
+	// flat; the TCP-friendly estimate must keep the window growing at
+	// least like AIMD rather than stalling.
+	cb := New()
+	cb.OnACK(0, fb(int(cb.Window()), 0)) // grow a little
+	cb.OnLoss(0)
+	w0 := cb.Window()
+	now := units.Time(0)
+	for i := 0; i < 200; i++ {
+		now = now.Add(10 * units.Millisecond)
+		cb.OnACK(now, fb(1, now))
+	}
+	if cb.Window() <= w0 {
+		t.Fatalf("window stalled at %v after loss (started %v)", cb.Window(), w0)
+	}
+}

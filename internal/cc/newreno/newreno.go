@@ -1,0 +1,79 @@
+// Package newreno implements TCP NewReno congestion control (RFC 6582
+// window dynamics: slow start, congestion avoidance, fast recovery),
+// the "less-aggressive" human-designed baseline the paper compares
+// against and the AIMD model Remy uses to simulate TCP cross-traffic in
+// the TCP-aware training scenarios (§4.5).
+package newreno
+
+import (
+	"learnability/internal/cc"
+	"learnability/internal/units"
+)
+
+// Standard NewReno constants.
+const (
+	initialWindow   = 2.0
+	initialSSThresh = 1e9 // effectively unbounded until the first loss
+	minSSThresh     = 2.0
+)
+
+// NewReno is a loss-triggered AIMD congestion controller.
+type NewReno struct {
+	cwnd     float64
+	ssthresh float64
+}
+
+// New returns a NewReno controller ready for a new connection.
+func New() *NewReno {
+	n := &NewReno{}
+	n.Reset(0)
+	return n
+}
+
+// Reset implements cc.Algorithm.
+func (n *NewReno) Reset(units.Time) {
+	n.cwnd = initialWindow
+	n.ssthresh = initialSSThresh
+}
+
+// OnACK implements cc.Algorithm: slow start below ssthresh, additive
+// increase of one window per RTT above it.
+func (n *NewReno) OnACK(_ units.Time, fb cc.Feedback) {
+	for i := 0; i < fb.NewlyAcked; i++ {
+		if n.cwnd < n.ssthresh {
+			n.cwnd++
+		} else {
+			n.cwnd += 1 / n.cwnd
+		}
+	}
+}
+
+// OnLoss implements cc.Algorithm: multiplicative decrease on a fast-
+// retransmit loss event.
+func (n *NewReno) OnLoss(units.Time) {
+	n.ssthresh = n.cwnd / 2
+	if n.ssthresh < minSSThresh {
+		n.ssthresh = minSSThresh
+	}
+	n.cwnd = n.ssthresh
+}
+
+// OnTimeout implements cc.Algorithm: collapse to one segment and slow
+// start again.
+func (n *NewReno) OnTimeout(units.Time) {
+	n.ssthresh = n.cwnd / 2
+	if n.ssthresh < minSSThresh {
+		n.ssthresh = minSSThresh
+	}
+	n.cwnd = 1
+}
+
+// Window implements cc.Algorithm.
+func (n *NewReno) Window() float64 { return n.cwnd }
+
+// PacingInterval implements cc.Algorithm: NewReno is purely
+// ACK-clocked.
+func (n *NewReno) PacingInterval() units.Duration { return 0 }
+
+// SSThresh exposes the slow-start threshold for tests.
+func (n *NewReno) SSThresh() float64 { return n.ssthresh }

@@ -1,0 +1,103 @@
+package newreno
+
+import (
+	"testing"
+
+	"learnability/internal/cc"
+	"learnability/internal/units"
+)
+
+func ack(n int) cc.Feedback { return cc.Feedback{NewlyAcked: n, RTT: 100 * units.Millisecond} }
+
+func TestSlowStartDoubling(t *testing.T) {
+	n := New()
+	w0 := n.Window()
+	// Ack a full window: slow start doubles it.
+	n.OnACK(0, ack(int(w0)))
+	if n.Window() != 2*w0 {
+		t.Fatalf("Window = %v after acking %v packets, want %v", n.Window(), w0, 2*w0)
+	}
+}
+
+func TestCongestionAvoidanceLinear(t *testing.T) {
+	n := New()
+	n.OnLoss(0) // forces ssthresh = cwnd/2 and exits slow start
+	w := n.Window()
+	// Ack one window's worth of packets: +1 packet total.
+	n.OnACK(0, ack(int(w)))
+	if got := n.Window(); got < w+0.9 || got > w+1.1 {
+		t.Fatalf("Window = %v after one RTT in CA, want ~%v", got, w+1)
+	}
+}
+
+func TestLossHalvesWindow(t *testing.T) {
+	n := New()
+	for i := 0; i < 6; i++ {
+		n.OnACK(0, ack(int(n.Window())))
+	}
+	w := n.Window()
+	n.OnLoss(0)
+	if got := n.Window(); got != w/2 {
+		t.Fatalf("Window after loss = %v, want %v", got, w/2)
+	}
+	if n.SSThresh() != w/2 {
+		t.Fatalf("ssthresh = %v, want %v", n.SSThresh(), w/2)
+	}
+}
+
+func TestTimeoutCollapsesToOne(t *testing.T) {
+	n := New()
+	for i := 0; i < 6; i++ {
+		n.OnACK(0, ack(int(n.Window())))
+	}
+	n.OnTimeout(0)
+	if n.Window() != 1 {
+		t.Fatalf("Window after timeout = %v, want 1", n.Window())
+	}
+}
+
+func TestSSThreshFloor(t *testing.T) {
+	n := New()
+	for i := 0; i < 10; i++ {
+		n.OnLoss(0)
+	}
+	if n.SSThresh() < 2 || n.Window() < 2 {
+		t.Fatalf("repeated losses drove window below floor: w=%v ssthresh=%v",
+			n.Window(), n.SSThresh())
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	n := New()
+	n.OnACK(0, ack(50))
+	n.OnLoss(0)
+	n.Reset(0)
+	m := New()
+	if n.Window() != m.Window() || n.SSThresh() != m.SSThresh() {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestNoPacing(t *testing.T) {
+	if New().PacingInterval() != 0 {
+		t.Fatal("NewReno should not pace")
+	}
+}
+
+func TestSlowStartExitsAtSSThresh(t *testing.T) {
+	n := New()
+	n.OnLoss(0)
+	ss := n.SSThresh()
+	// In CA now; many acks grow window slowly, never jumping.
+	prev := n.Window()
+	for i := 0; i < 100; i++ {
+		n.OnACK(0, ack(1))
+		if n.Window()-prev > 1.01 {
+			t.Fatalf("window jumped by %v in CA", n.Window()-prev)
+		}
+		prev = n.Window()
+	}
+	if n.Window() < ss {
+		t.Fatal("window shrank in CA")
+	}
+}

@@ -1,0 +1,94 @@
+package remycc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TreeStats summarizes a trained tree for inspection and logging.
+type TreeStats struct {
+	Whiskers int
+	// Per-dimension count of split planes (how often training found a
+	// signal worth discriminating on).
+	SplitsPerSignal [NumSignals]int
+	// Action ranges across whiskers.
+	MinMult, MaxMult             float64
+	MinIncr, MaxIncr             float64
+	MinIntersendS, MaxIntersendS float64
+}
+
+// Stats computes summary statistics of the tree.
+func (t *Tree) Stats() TreeStats {
+	st := TreeStats{Whiskers: t.Len()}
+	if t.Len() == 0 {
+		return st
+	}
+	full := FullDomain()
+	// Count distinct interior boundaries per dimension.
+	for d := 0; d < NumSignals; d++ {
+		cuts := map[float64]bool{}
+		for _, w := range t.Whiskers {
+			if w.Domain.Lo[d] != full.Lo[d] {
+				cuts[w.Domain.Lo[d]] = true
+			}
+			if w.Domain.Hi[d] != full.Hi[d] {
+				cuts[w.Domain.Hi[d]] = true
+			}
+		}
+		st.SplitsPerSignal[d] = len(cuts)
+	}
+	first := t.Whiskers[0].Action
+	st.MinMult, st.MaxMult = first.WindowMult, first.WindowMult
+	st.MinIncr, st.MaxIncr = first.WindowIncr, first.WindowIncr
+	st.MinIntersendS, st.MaxIntersendS = first.Intersend, first.Intersend
+	for _, w := range t.Whiskers[1:] {
+		a := w.Action
+		st.MinMult = min(st.MinMult, a.WindowMult)
+		st.MaxMult = max(st.MaxMult, a.WindowMult)
+		st.MinIncr = min(st.MinIncr, a.WindowIncr)
+		st.MaxIncr = max(st.MaxIncr, a.WindowIncr)
+		st.MinIntersendS = min(st.MinIntersendS, a.Intersend)
+		st.MaxIntersendS = max(st.MaxIntersendS, a.Intersend)
+	}
+	return st
+}
+
+// Describe renders a human-readable summary of the tree, listing its
+// whiskers ordered by domain.
+func (t *Tree) Describe() string {
+	var b strings.Builder
+	st := t.Stats()
+	fmt.Fprintf(&b, "whisker tree: %d rules\n", st.Whiskers)
+	fmt.Fprintf(&b, "split planes per signal:")
+	for d := Signal(0); d < NumSignals; d++ {
+		fmt.Fprintf(&b, " %s=%d", d, st.SplitsPerSignal[d])
+	}
+	fmt.Fprintf(&b, "\nactions: mult [%.2f, %.2f]  incr [%.1f, %.1f]  intersend [%.2fms, %.2fms]\n",
+		st.MinMult, st.MaxMult, st.MinIncr, st.MaxIncr,
+		st.MinIntersendS*1e3, st.MaxIntersendS*1e3)
+
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		wa, wb := t.Whiskers[idx[a]].Domain.Lo, t.Whiskers[idx[b]].Domain.Lo
+		for d := 0; d < NumSignals; d++ {
+			if wa[d] != wb[d] {
+				return wa[d] < wb[d]
+			}
+		}
+		return false
+	})
+	for _, i := range idx {
+		w := t.Whiskers[i]
+		fmt.Fprintf(&b, "  rec[%.3f,%.3f) slow[%.3f,%.3f) send[%.3f,%.3f) ratio[%.1f,%.1f) -> m=%.2f b=%+.1f tau=%.2fms\n",
+			w.Domain.Lo[RecEWMA], w.Domain.Hi[RecEWMA],
+			w.Domain.Lo[SlowRecEWMA], w.Domain.Hi[SlowRecEWMA],
+			w.Domain.Lo[SendEWMA], w.Domain.Hi[SendEWMA],
+			w.Domain.Lo[RTTRatio], w.Domain.Hi[RTTRatio],
+			w.Action.WindowMult, w.Action.WindowIncr, w.Action.Intersend*1e3)
+	}
+	return b.String()
+}

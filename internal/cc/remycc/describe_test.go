@@ -1,0 +1,74 @@
+package remycc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsSingleWhisker(t *testing.T) {
+	st := NewTree().Stats()
+	if st.Whiskers != 1 {
+		t.Fatalf("Whiskers = %d", st.Whiskers)
+	}
+	for d := 0; d < NumSignals; d++ {
+		if st.SplitsPerSignal[d] != 0 {
+			t.Fatalf("splits on %v = %d for untrained tree", Signal(d), st.SplitsPerSignal[d])
+		}
+	}
+	def := DefaultAction()
+	if st.MinMult != def.WindowMult || st.MaxIntersendS != def.Intersend {
+		t.Fatalf("action range = %+v", st)
+	}
+}
+
+func TestStatsCountsSplits(t *testing.T) {
+	tr := NewTree()
+	tr, _ = tr.Split(0, Vector{0.3, 0, 0, 0}, []Signal{RecEWMA})
+	tr, _ = tr.Split(0, Vector{0, 0, 0, 4}, []Signal{RTTRatio})
+	st := tr.Stats()
+	if st.SplitsPerSignal[RecEWMA] != 1 {
+		t.Fatalf("rec splits = %d", st.SplitsPerSignal[RecEWMA])
+	}
+	if st.SplitsPerSignal[RTTRatio] != 1 {
+		t.Fatalf("ratio splits = %d", st.SplitsPerSignal[RTTRatio])
+	}
+	if st.SplitsPerSignal[SendEWMA] != 0 {
+		t.Fatalf("send splits = %d", st.SplitsPerSignal[SendEWMA])
+	}
+}
+
+func TestStatsActionRanges(t *testing.T) {
+	tr := NewTree()
+	tr, _ = tr.Split(0, Vector{0.3, 0, 0, 0}, []Signal{RecEWMA})
+	tr = tr.WithAction(0, Action{WindowMult: 0.5, WindowIncr: -2, Intersend: 0.01})
+	tr = tr.WithAction(1, Action{WindowMult: 1.5, WindowIncr: 8, Intersend: 0.0001})
+	st := tr.Stats()
+	if st.MinMult != 0.5 || st.MaxMult != 1.5 || st.MinIncr != -2 || st.MaxIncr != 8 {
+		t.Fatalf("ranges = %+v", st)
+	}
+	if st.MinIntersendS != 0.0001 || st.MaxIntersendS != 0.01 {
+		t.Fatalf("intersend range = %+v", st)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tr := NewTree()
+	tr, _ = tr.Split(0, Vector{0.3, 0, 0, 0}, []Signal{RecEWMA})
+	out := tr.Describe()
+	if !strings.Contains(out, "2 rules") {
+		t.Fatalf("Describe = %q", out)
+	}
+	if !strings.Contains(out, "rec_ewma=1") {
+		t.Fatalf("Describe missing split counts: %q", out)
+	}
+	if strings.Count(out, "->") != 2 {
+		t.Fatalf("Describe should list both whiskers:\n%s", out)
+	}
+}
+
+func TestStatsEmptyTree(t *testing.T) {
+	st := (&Tree{}).Stats()
+	if st.Whiskers != 0 {
+		t.Fatalf("Whiskers = %d", st.Whiskers)
+	}
+}

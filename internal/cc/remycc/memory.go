@@ -1,0 +1,173 @@
+// Package remycc implements the runtime of Remy-generated ("Tao")
+// congestion-control protocols: the four-signal memory the paper's
+// senders track (§3.3), the piecewise-constant match-action mapping
+// from memory to actions (whiskers, §3.5), and the cc.Algorithm that
+// executes it. The search procedure that *produces* whisker trees lives
+// in internal/remy.
+package remycc
+
+import (
+	"fmt"
+
+	"learnability/internal/cc"
+	"learnability/internal/units"
+)
+
+// NumSignals is the number of congestion signals in the paper (§3.3).
+const NumSignals = 4
+
+// Signal indexes the four congestion signals.
+type Signal int
+
+// The four signals, in the paper's order.
+const (
+	// RecEWMA: EWMA of ACK interarrival times at the receiver, gain 1/8.
+	RecEWMA Signal = iota
+	// SlowRecEWMA: same as RecEWMA with gain 1/256 (longer history).
+	SlowRecEWMA
+	// SendEWMA: EWMA of intersend times between sender timestamps
+	// echoed in ACKs, gain 1/8.
+	SendEWMA
+	// RTTRatio: most recent RTT divided by the minimum RTT seen.
+	RTTRatio
+)
+
+// String names the signal as in the paper.
+func (s Signal) String() string {
+	switch s {
+	case RecEWMA:
+		return "rec_ewma"
+	case SlowRecEWMA:
+		return "slow_rec_ewma"
+	case SendEWMA:
+		return "send_ewma"
+	case RTTRatio:
+		return "rtt_ratio"
+	default:
+		return fmt.Sprintf("signal(%d)", int(s))
+	}
+}
+
+// Domain bounds for the memory space. EWMA signals are in seconds;
+// the RTT ratio is dimensionless. Values are clamped into the domain
+// before whisker lookup.
+const (
+	MaxEWMA  = 1.0  // seconds: ack spacing beyond this is saturated
+	MinRatio = 1.0  // RTT can never be below the minimum RTT
+	MaxRatio = 16.0 // deep standing queues saturate here
+)
+
+// Vector is a point in the 4-dimensional memory space:
+// [rec_ewma sec, slow_rec_ewma sec, send_ewma sec, rtt_ratio].
+type Vector [NumSignals]float64
+
+// InitialVector is the memory at connection start: no interarrival or
+// intersend history, RTT ratio 1.
+func InitialVector() Vector { return Vector{0, 0, 0, MinRatio} }
+
+// Clamp returns the vector with each coordinate forced into the domain.
+func (v Vector) Clamp() Vector {
+	clampf := func(x, lo, hi float64) float64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	return Vector{
+		clampf(v[0], 0, MaxEWMA),
+		clampf(v[1], 0, MaxEWMA),
+		clampf(v[2], 0, MaxEWMA),
+		clampf(v[3], MinRatio, MaxRatio),
+	}
+}
+
+// SignalMask selects which signals a protocol may observe. The
+// knockout study (§3.4) trains protocols with one signal removed;
+// masked-out signals stay frozen at their initial values so the
+// protocol can never condition on them.
+type SignalMask [NumSignals]bool
+
+// AllSignals enables every signal.
+func AllSignals() SignalMask { return SignalMask{true, true, true, true} }
+
+// Without returns a copy of the mask with signal s disabled.
+func (m SignalMask) Without(s Signal) SignalMask {
+	m[s] = false
+	return m
+}
+
+// Enabled reports whether signal s is observable.
+func (m SignalMask) Enabled(s Signal) bool { return m[s] }
+
+// Memory tracks the four congestion signals across a connection.
+type Memory struct {
+	mask SignalMask
+
+	rec     cc.EWMA
+	slowRec cc.EWMA
+	send    cc.EWMA
+	ratio   float64
+
+	lastReceivedAt units.Time
+	lastSentAt     units.Time
+	haveReceived   bool
+	haveSent       bool
+}
+
+// NewMemory returns a memory observing the signals enabled in mask.
+func NewMemory(mask SignalMask) *Memory {
+	m := &Memory{mask: mask}
+	m.Reset()
+	return m
+}
+
+// Reset clears all history (connection start).
+func (m *Memory) Reset() {
+	m.rec = cc.NewEWMA(1.0 / 8)
+	m.slowRec = cc.NewEWMA(1.0 / 256)
+	m.send = cc.NewEWMA(1.0 / 8)
+	m.ratio = MinRatio
+	m.haveReceived = false
+	m.haveSent = false
+}
+
+// Observe folds one ACK's feedback into the memory.
+func (m *Memory) Observe(fb cc.Feedback) {
+	if m.haveReceived {
+		dt := fb.ReceivedAt.Sub(m.lastReceivedAt).Seconds()
+		if dt >= 0 {
+			if m.mask.Enabled(RecEWMA) {
+				m.rec.Observe(dt)
+			}
+			if m.mask.Enabled(SlowRecEWMA) {
+				m.slowRec.Observe(dt)
+			}
+		}
+	}
+	m.lastReceivedAt = fb.ReceivedAt
+	m.haveReceived = true
+
+	if m.haveSent {
+		dt := fb.SentAt.Sub(m.lastSentAt).Seconds()
+		if dt >= 0 && m.mask.Enabled(SendEWMA) {
+			m.send.Observe(dt)
+		}
+	}
+	m.lastSentAt = fb.SentAt
+	m.haveSent = true
+
+	if m.mask.Enabled(RTTRatio) && fb.MinRTT > 0 {
+		m.ratio = fb.RTT.Seconds() / fb.MinRTT.Seconds()
+		if m.ratio < MinRatio {
+			m.ratio = MinRatio
+		}
+	}
+}
+
+// Vector returns the current memory point, clamped into the domain.
+func (m *Memory) Vector() Vector {
+	return Vector{m.rec.Value(), m.slowRec.Value(), m.send.Value(), m.ratio}.Clamp()
+}

@@ -1,0 +1,245 @@
+package remycc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Action is the congestion response attached to a whisker (§3.5): when
+// an ACK arrives and the memory falls in the whisker's domain, the
+// window becomes WindowMult*cwnd + WindowIncr and transmissions are
+// paced at least Intersend seconds apart.
+type Action struct {
+	// WindowMult is the multiplier m applied to the congestion window.
+	WindowMult float64 `json:"window_mult"`
+	// WindowIncr is the increment b added to the congestion window, in
+	// packets (may be negative).
+	WindowIncr float64 `json:"window_incr"`
+	// Intersend is the lower bound tau on the pacing interval between
+	// outgoing packets, in seconds. Zero disables pacing.
+	Intersend float64 `json:"intersend"`
+}
+
+// Action bounds used by both the runtime (clamping) and the trainer
+// (search space).
+const (
+	MinWindowMult = 0.0
+	MaxWindowMult = 2.0
+	MinWindowIncr = -16.0
+	MaxWindowIncr = 32.0
+	MinIntersend  = 0.00005 // 50 microseconds
+	MaxIntersend  = 1.0     // seconds
+)
+
+// DefaultAction is the action every protocol starts from before
+// training: hold the window, add one packet per ACK, pace lightly.
+func DefaultAction() Action {
+	return Action{WindowMult: 1, WindowIncr: 1, Intersend: 0.001}
+}
+
+// Clamp forces the action into the legal bounds.
+func (a Action) Clamp() Action {
+	cl := func(x, lo, hi float64) float64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	return Action{
+		WindowMult: cl(a.WindowMult, MinWindowMult, MaxWindowMult),
+		WindowIncr: cl(a.WindowIncr, MinWindowIncr, MaxWindowIncr),
+		Intersend:  cl(a.Intersend, MinIntersend, MaxIntersend),
+	}
+}
+
+// Box is an axis-aligned region of memory space, inclusive of Lo and
+// exclusive of Hi except at the domain's upper boundary (lookups clamp
+// into the domain, so the boundary point maps to the topmost box).
+type Box struct {
+	Lo Vector `json:"lo"`
+	Hi Vector `json:"hi"`
+}
+
+// FullDomain is the box covering the whole memory space.
+func FullDomain() Box {
+	return Box{
+		Lo: Vector{0, 0, 0, MinRatio},
+		Hi: Vector{MaxEWMA, MaxEWMA, MaxEWMA, MaxRatio},
+	}
+}
+
+// Contains reports whether v lies in the box, treating coordinates at
+// the domain's upper edge as contained.
+func (b Box) Contains(v Vector) bool {
+	full := FullDomain()
+	for d := 0; d < NumSignals; d++ {
+		if v[d] < b.Lo[d] {
+			return false
+		}
+		if v[d] >= b.Hi[d] && b.Hi[d] != full.Hi[d] {
+			return false
+		}
+		if v[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Whisker is one match-action rule: a domain box and the action taken
+// for memories falling inside it.
+type Whisker struct {
+	Domain Box    `json:"domain"`
+	Action Action `json:"action"`
+}
+
+// Tree is the piecewise-constant mapping from memory to action: a set
+// of whiskers whose domains partition the memory space. The paper calls
+// the overall structure (memory definition + mapping + action
+// semantics) a Tao protocol; Tree is its learned component.
+//
+// Lookup is a linear scan: trained trees in this repository stay small
+// (tens of whiskers), and a scan keeps serialization and splitting
+// trivial. Trees are immutable after construction; the trainer builds
+// modified copies.
+type Tree struct {
+	Whiskers []Whisker `json:"whiskers"`
+}
+
+// NewTree returns the initial single-whisker tree mapping the whole
+// domain to the default action.
+func NewTree() *Tree {
+	return &Tree{Whiskers: []Whisker{{Domain: FullDomain(), Action: DefaultAction()}}}
+}
+
+// Lookup returns the index of the whisker containing v (after clamping
+// into the domain). It panics if the partition invariant is broken.
+func (t *Tree) Lookup(v Vector) int {
+	v = v.Clamp()
+	for i := range t.Whiskers {
+		if t.Whiskers[i].Domain.Contains(v) {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("remycc: no whisker contains %v; tree partition broken", v))
+}
+
+// Action returns the action of whisker i.
+func (t *Tree) Action(i int) Action { return t.Whiskers[i].Action }
+
+// Len reports the number of whiskers.
+func (t *Tree) Len() int { return len(t.Whiskers) }
+
+// Clone returns a deep copy.
+func (t *Tree) Clone() *Tree {
+	w := make([]Whisker, len(t.Whiskers))
+	copy(w, t.Whiskers)
+	return &Tree{Whiskers: w}
+}
+
+// WithAction returns a copy of the tree with whisker i's action
+// replaced by a (clamped).
+func (t *Tree) WithAction(i int, a Action) *Tree {
+	nt := t.Clone()
+	nt.Whiskers[i].Action = a.Clamp()
+	return nt
+}
+
+// Split replaces whisker i with up to 2^k children produced by
+// bisecting its domain at the given point along every dimension in
+// dims. Each child inherits the parent's action. Dimensions where the
+// split point would produce an empty half are skipped; if no dimension
+// is splittable the tree is returned unchanged and ok is false.
+func (t *Tree) Split(i int, at Vector, dims []Signal) (nt *Tree, ok bool) {
+	const minWidthFrac = 1e-3
+	parent := t.Whiskers[i]
+	boxes := []Box{parent.Domain}
+	for _, d := range dims {
+		lo, hi := parent.Domain.Lo[d], parent.Domain.Hi[d]
+		cut := at[d]
+		width := hi - lo
+		if cut <= lo+width*minWidthFrac || cut >= hi-width*minWidthFrac {
+			continue // cut would create a degenerate child
+		}
+		next := make([]Box, 0, 2*len(boxes))
+		for _, b := range boxes {
+			lowHalf, highHalf := b, b
+			lowHalf.Hi[d] = cut
+			highHalf.Lo[d] = cut
+			next = append(next, lowHalf, highHalf)
+		}
+		boxes = next
+	}
+	if len(boxes) == 1 {
+		return t, false
+	}
+	nt = &Tree{Whiskers: make([]Whisker, 0, len(t.Whiskers)+len(boxes)-1)}
+	nt.Whiskers = append(nt.Whiskers, t.Whiskers[:i]...)
+	for _, b := range boxes {
+		nt.Whiskers = append(nt.Whiskers, Whisker{Domain: b, Action: parent.Action})
+	}
+	nt.Whiskers = append(nt.Whiskers, t.Whiskers[i+1:]...)
+	return nt, true
+}
+
+// Validate checks the partition invariant on a sample grid: every
+// memory point maps to exactly one whisker. It returns an error
+// describing the first violation found.
+func (t *Tree) Validate() error {
+	if len(t.Whiskers) == 0 {
+		return fmt.Errorf("remycc: empty tree")
+	}
+	full := FullDomain()
+	const steps = 7
+	var v Vector
+	var walk func(d int) error
+	walk = func(d int) error {
+		if d == NumSignals {
+			n := 0
+			for i := range t.Whiskers {
+				if t.Whiskers[i].Domain.Contains(v) {
+					n++
+				}
+			}
+			if n != 1 {
+				return fmt.Errorf("remycc: point %v contained in %d whiskers", v, n)
+			}
+			return nil
+		}
+		for s := 0; s <= steps; s++ {
+			v[d] = full.Lo[d] + (full.Hi[d]-full.Lo[d])*float64(s)/steps
+			if err := walk(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0)
+}
+
+// MarshalJSON / UnmarshalJSON round-trip the tree for cmd/remytrain
+// output and cmd/remyeval input.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	type alias Tree
+	return json.Marshal((*alias)(t))
+}
+
+// UnmarshalJSON implements json.Unmarshaler with validation.
+func (t *Tree) UnmarshalJSON(b []byte) error {
+	type alias Tree
+	if err := json.Unmarshal(b, (*alias)(t)); err != nil {
+		return err
+	}
+	for i := range t.Whiskers {
+		a := t.Whiskers[i].Action
+		if math.IsNaN(a.WindowMult) || math.IsNaN(a.WindowIncr) || math.IsNaN(a.Intersend) {
+			return fmt.Errorf("remycc: whisker %d has NaN action", i)
+		}
+		t.Whiskers[i].Action = a.Clamp()
+	}
+	return t.Validate()
+}

@@ -1,0 +1,107 @@
+package vegas
+
+import (
+	"testing"
+
+	"learnability/internal/cc"
+	"learnability/internal/units"
+)
+
+func fb(rtt units.Duration) cc.Feedback {
+	return cc.Feedback{NewlyAcked: 1, RTT: rtt, MinRTT: 100 * units.Millisecond}
+}
+
+func TestGrowsWhenPathUncongested(t *testing.T) {
+	v := New()
+	v.slowStart = false
+	w0 := v.Window()
+	for i := 0; i < 50; i++ {
+		v.OnACK(0, fb(100*units.Millisecond)) // RTT == baseRTT: diff = 0 < alpha
+	}
+	if v.Window() <= w0 {
+		t.Fatalf("Window = %v, did not grow on uncongested path", v.Window())
+	}
+}
+
+func TestShrinksWhenQueued(t *testing.T) {
+	v := New()
+	v.slowStart = false
+	v.cwnd = 50
+	v.baseRTT = 100 * units.Millisecond
+	// RTT = 2x baseRTT: diff = 50 * 0.5 = 25 > beta.
+	w0 := v.Window()
+	for i := 0; i < 50; i++ {
+		v.OnACK(0, fb(200*units.Millisecond))
+	}
+	if v.Window() >= w0 {
+		t.Fatalf("Window = %v, did not shrink with standing queue", v.Window())
+	}
+}
+
+func TestEquilibriumBand(t *testing.T) {
+	// With diff between alpha and beta, the window holds.
+	v := New()
+	v.slowStart = false
+	v.cwnd = 30
+	v.baseRTT = 100 * units.Millisecond
+	// diff = 30*(1-100/111.1) = ~3, inside (2, 4).
+	w0 := v.Window()
+	for i := 0; i < 50; i++ {
+		v.OnACK(0, fb(units.DurationFromSeconds(0.1111)))
+	}
+	if v.Window() != w0 {
+		t.Fatalf("Window moved from %v to %v inside equilibrium band", w0, v.Window())
+	}
+}
+
+func TestSlowStartExitsOnDelay(t *testing.T) {
+	v := New()
+	if !v.slowStart {
+		t.Fatal("should start in slow start")
+	}
+	v.cwnd = 20
+	v.baseRTT = 100 * units.Millisecond
+	v.OnACK(0, fb(150*units.Millisecond)) // diff = 20/3 > gamma
+	if v.slowStart {
+		t.Fatal("slow start should exit once diff exceeds gamma")
+	}
+}
+
+func TestLossReaction(t *testing.T) {
+	v := New()
+	v.cwnd = 40
+	v.OnLoss(0)
+	if v.Window() != 30 {
+		t.Fatalf("Window after loss = %v, want 30", v.Window())
+	}
+	v.cwnd = 2
+	v.OnLoss(0)
+	if v.Window() < 2 {
+		t.Fatal("window below floor after loss")
+	}
+}
+
+func TestTimeoutReaction(t *testing.T) {
+	v := New()
+	v.cwnd = 40
+	v.OnTimeout(0)
+	if v.Window() != 2 || !v.slowStart {
+		t.Fatalf("timeout: w=%v slowStart=%v", v.Window(), v.slowStart)
+	}
+}
+
+func TestBaseRTTTracksMinimum(t *testing.T) {
+	v := New()
+	v.OnACK(0, fb(300*units.Millisecond))
+	v.OnACK(0, fb(120*units.Millisecond))
+	v.OnACK(0, fb(200*units.Millisecond))
+	if v.baseRTT != 120*units.Millisecond {
+		t.Fatalf("baseRTT = %v, want 120ms", v.baseRTT)
+	}
+}
+
+func TestNoPacing(t *testing.T) {
+	if New().PacingInterval() != 0 {
+		t.Fatal("Vegas should not pace")
+	}
+}

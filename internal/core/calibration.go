@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/omniscient"
+	"learnability/internal/remy"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+// Calibration experiment (E1): Table 1 / Figure 1. A Tao trained for
+// the exact testing network is compared against Cubic,
+// Cubic-over-sfqCoDel, and the omniscient protocol on a 32 Mbps,
+// 150 ms-RTT dumbbell with two on/off senders and 5 BDP of buffer.
+
+// CalibrationParams are the Table 1 network parameters.
+var CalibrationParams = struct {
+	LinkSpeed units.Rate
+	MinRTT    units.Duration
+	Senders   int
+	MeanOn    units.Duration
+	MeanOff   units.Duration
+	BufferBDP float64
+	Delta     float64
+}{
+	LinkSpeed: 32 * units.Mbps,
+	MinRTT:    150 * units.Millisecond,
+	Senders:   2,
+	MeanOn:    units.Second,
+	MeanOff:   units.Second,
+	BufferBDP: 5,
+	Delta:     1,
+}
+
+// calibrationTaoSpec trains a Tao on exactly the Table 1 network.
+func calibrationTaoSpec() TaoSpec {
+	p := CalibrationParams
+	return TaoSpec{
+		Name: "Tao-calibration",
+		Seed: 0x0e1,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: p.LinkSpeed,
+			LinkSpeedMax: p.LinkSpeed,
+			MinRTTMin:    p.MinRTT,
+			MinRTTMax:    p.MinRTT,
+			SendersMin:   p.Senders,
+			SendersMax:   p.Senders,
+			MeanOn:       p.MeanOn,
+			MeanOff:      p.MeanOff,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    p.BufferBDP,
+			Delta:        p.Delta,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// CalibrationRow is one protocol's Figure 1 point: median throughput
+// and queueing delay with 1-sigma spreads.
+type CalibrationRow struct {
+	Protocol string
+	stats.Summary
+	// MeanObjective is the §3.2 objective averaged over flows and
+	// replicas (using total delay, as in training).
+	MeanObjective float64
+}
+
+// CalibrationResult is the Figure 1 dataset.
+type CalibrationResult struct {
+	Rows []CalibrationRow
+}
+
+// RunCalibration trains the calibration Tao and evaluates all four
+// protocols.
+func RunCalibration(e Effort, log func(string, ...any)) *CalibrationResult {
+	p := CalibrationParams
+	tree := calibrationTaoSpec().Train(e, log)
+
+	tmpl := scenario.Spec{
+		Topology:  scenario.Dumbbell,
+		LinkSpeed: p.LinkSpeed,
+		MinRTT:    p.MinRTT,
+		Buffering: scenario.FiniteDropTail,
+		BufferBDP: p.BufferBDP,
+		MeanOn:    p.MeanOn,
+		MeanOff:   p.MeanOff,
+		Duration:  e.TestDuration,
+	}
+
+	protocols := []Protocol{
+		taoProtocol("Tao", tree, remycc.AllSignals()),
+		cubicProtocol(),
+		cubicSfqCoDelProtocol(),
+	}
+
+	res := &CalibrationResult{}
+	for _, proto := range protocols {
+		results := evalPoint(e, proto, tmpl, p.Senders, "calibration")
+		row := CalibrationRow{Protocol: proto.Name, Summary: summarize(results)}
+		var objs []float64
+		for _, r := range results {
+			if r.OnTime > 0 {
+				objs = append(objs, stats.Objective(r.Throughput, r.Delay, p.Delta))
+			}
+		}
+		row.MeanObjective = stats.Mean(objs)
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Omniscient reference: proportionally fair expectation, no
+	// queueing.
+	onProb := p.MeanOn.Seconds() / (p.MeanOn.Seconds() + p.MeanOff.Seconds())
+	sys := omniscient.Dumbbell(p.LinkSpeed, p.MinRTT, p.Senders, onProb)
+	omniTpt := sys.ExpectedThroughput(0)
+	omniDelay := sys.Delay(0)
+	res.Rows = append(res.Rows, CalibrationRow{
+		Protocol: "Omniscient",
+		Summary: stats.Summary{
+			MedianTptBps:   float64(omniTpt),
+			MedianDelaySec: 0, // no queueing delay
+			N:              1,
+		},
+		MeanObjective: stats.Objective(omniTpt, omniDelay, p.Delta),
+	})
+	return res
+}
+
+// OmniscientTpt returns the omniscient reference throughput for the
+// calibration network (exported for EXPERIMENTS.md checks).
+func (r *CalibrationResult) OmniscientTpt() float64 {
+	for _, row := range r.Rows {
+		if row.Protocol == "Omniscient" {
+			return row.MedianTptBps
+		}
+	}
+	return 0
+}
+
+// Row returns the named row, or nil.
+func (r *CalibrationResult) Row(name string) *CalibrationRow {
+	for i := range r.Rows {
+		if r.Rows[i].Protocol == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the Figure 1 dataset.
+func (r *CalibrationResult) Table() string {
+	header := []string{"protocol", "median tpt (Mbps)", "median queue delay (ms)", "tpt sigma", "delay sigma (ms)", "objective"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Protocol,
+			fmt.Sprintf("%.2f", row.MedianTptBps/1e6),
+			fmt.Sprintf("%.1f", row.MedianDelaySec*1e3),
+			fmt.Sprintf("%.2f", row.StdTptBps/1e6),
+			fmt.Sprintf("%.1f", row.StdDelaySec*1e3),
+			fmt.Sprintf("%.3f", row.MeanObjective),
+		})
+	}
+	return renderTable(header, rows)
+}

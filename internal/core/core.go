@@ -1,0 +1,266 @@
+// Package core implements the paper's experiments: it trains the Tao
+// protocols each experiment calls for (via internal/remy), evaluates
+// them alongside the human-designed baselines and the omniscient
+// reference on the paper's testing scenarios, and renders the
+// tables/series behind every figure (see DESIGN.md §4 for the
+// experiment index).
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"learnability/internal/cc"
+	"learnability/internal/cc/cubic"
+	"learnability/internal/cc/newreno"
+	"learnability/internal/cc/remycc"
+	"learnability/internal/cc/vegas"
+	"learnability/internal/remy"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+// Effort scales how much computation an experiment spends. The paper
+// spends a CPU-year per protocol; these budgets trade fidelity for
+// wall-clock time while preserving the comparisons' shapes.
+type Effort struct {
+	// TrainBudget bounds each Tao's training search.
+	TrainBudget remy.Budget
+	// TrainReplicas is the number of scenario draws per candidate
+	// evaluation during training.
+	TrainReplicas int
+	// TrainDuration is the simulated time per training run.
+	TrainDuration units.Duration
+	// TestReplicas is the number of independent runs per testing
+	// point.
+	TestReplicas int
+	// TestDuration is the simulated time per testing run.
+	TestDuration units.Duration
+	// SweepPoints is the number of points per swept axis.
+	SweepPoints int
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+}
+
+// DefaultEffort runs every experiment at a fidelity suitable for a
+// workstation (minutes for the full suite).
+func DefaultEffort() Effort {
+	return Effort{
+		TrainBudget:   remy.Budget{Generations: 2, OptPasses: 2, MovesPerWhisker: 6},
+		TrainReplicas: 4,
+		TrainDuration: 12 * units.Second,
+		TestReplicas:  8,
+		TestDuration:  30 * units.Second,
+		SweepPoints:   9,
+		Seed:          1,
+	}
+}
+
+// QuickEffort is for tests and smoke runs (tens of seconds).
+func QuickEffort() Effort {
+	return Effort{
+		TrainBudget:   remy.Budget{Generations: 1, OptPasses: 1, MovesPerWhisker: 3},
+		TrainReplicas: 2,
+		TrainDuration: 8 * units.Second,
+		TestReplicas:  3,
+		TestDuration:  12 * units.Second,
+		SweepPoints:   5,
+		Seed:          1,
+	}
+}
+
+// Protocol is an evaluable endpoint algorithm paired with the gateway
+// discipline it is tested over (Cubic-over-sfqCoDel is Cubic at the
+// endpoints plus sfqCoDel at the gateway).
+type Protocol struct {
+	Name string
+	// New returns a fresh per-connection controller.
+	New func() cc.Algorithm
+	// Gateway overrides the scenario's buffering when not nil (used
+	// for Cubic-over-sfqCoDel).
+	Gateway *scenario.Buffering
+}
+
+// Baselines.
+func cubicProtocol() Protocol {
+	return Protocol{Name: "Cubic", New: func() cc.Algorithm { return cubic.New() }}
+}
+
+func cubicSfqCoDelProtocol() Protocol {
+	g := scenario.SfqCoDel
+	return Protocol{
+		Name:    "Cubic/sfqCoDel",
+		New:     func() cc.Algorithm { return cubic.New() },
+		Gateway: &g,
+	}
+}
+
+func newRenoProtocol() Protocol {
+	return Protocol{Name: "NewReno", New: func() cc.Algorithm { return newreno.New() }}
+}
+
+func vegasProtocol() Protocol {
+	return Protocol{Name: "Vegas", New: func() cc.Algorithm { return vegas.New() }}
+}
+
+// taoProtocol wraps a trained tree (optionally with a signal mask).
+func taoProtocol(name string, tree *remycc.Tree, mask remycc.SignalMask) Protocol {
+	return Protocol{
+		Name: name,
+		New:  func() cc.Algorithm { return remycc.NewMasked(tree, mask) },
+	}
+}
+
+// TaoSpec names a Tao protocol and the training configuration that
+// produces it. Trees are trained once per process and cached.
+type TaoSpec struct {
+	Name string
+	Cfg  remy.Config
+	Seed uint64
+}
+
+var (
+	taoCacheMu sync.Mutex
+	taoCache   = map[string]*remycc.Tree{}
+)
+
+// Train returns the trained tree for the spec, training it on first
+// use. The cache key includes the effort so different fidelities do
+// not collide.
+func (s TaoSpec) Train(e Effort, log func(string, ...any)) *remycc.Tree {
+	key := fmt.Sprintf("%s/%d/%+v/%d/%v", s.Name, s.Seed, e.TrainBudget, e.TrainReplicas, e.TrainDuration)
+	taoCacheMu.Lock()
+	if t, ok := taoCache[key]; ok {
+		taoCacheMu.Unlock()
+		return t
+	}
+	taoCacheMu.Unlock()
+
+	cfg := s.Cfg
+	cfg.Replicas = e.TrainReplicas
+	cfg.Duration = e.TrainDuration
+	tr := &remy.Trainer{Cfg: cfg, Seed: s.Seed ^ e.Seed, Log: log}
+	tree := tr.Train(e.TrainBudget)
+
+	taoCacheMu.Lock()
+	taoCache[key] = tree
+	taoCacheMu.Unlock()
+	return tree
+}
+
+// ResetTaoCache clears trained protocols (tests use it to force
+// retraining).
+func ResetTaoCache() {
+	taoCacheMu.Lock()
+	taoCache = map[string]*remycc.Tree{}
+	taoCacheMu.Unlock()
+}
+
+// evalPoint runs protocol p (homogeneous senders) on the scenario
+// template, overriding buffering if the protocol demands it, for
+// e.TestReplicas independent seeds. It returns per-replica per-flow
+// results flattened.
+func evalPoint(e Effort, p Protocol, tmpl scenario.Spec, nSenders int, label string) []scenario.Result {
+	if p.Gateway != nil {
+		tmpl.Buffering = *p.Gateway
+	}
+	var all []scenario.Result
+	root := rng.New(e.Seed).Split("test").Split(label).Split(p.Name)
+	for rep := 0; rep < e.TestReplicas; rep++ {
+		spec := tmpl
+		spec.Seed = root.SplitN("replica", rep)
+		spec.Senders = make([]scenario.Sender, nSenders)
+		for i := range spec.Senders {
+			spec.Senders[i] = scenario.Sender{Alg: p.New(), Delta: 1}
+		}
+		all = append(all, scenario.Run(spec)...)
+	}
+	return all
+}
+
+// meanNormalizedObjective averages the normalized objective (§3.2,
+// Figures 2-4 form) over results, normalizing throughput by omniTpt
+// and delay by omniDelay so the omniscient protocol scores 0.
+func meanNormalizedObjective(results []scenario.Result, omniTpt units.Rate, omniDelay units.Duration, delta float64) float64 {
+	var vals []float64
+	for _, r := range results {
+		if r.OnTime == 0 {
+			continue
+		}
+		vals = append(vals, stats.NormalizedObjective(r.Throughput, omniTpt, r.Delay, omniDelay, delta))
+	}
+	return stats.Mean(vals)
+}
+
+// summarize converts results into the paper's ellipse summary
+// (throughput in bps, queueing delay in seconds).
+func summarize(results []scenario.Result) stats.Summary {
+	var tpt, qd []float64
+	for _, r := range results {
+		if r.OnTime == 0 {
+			continue
+		}
+		tpt = append(tpt, float64(r.Throughput))
+		qd = append(qd, r.QueueDelay.Seconds())
+	}
+	return stats.Summarize(tpt, qd)
+}
+
+// logspace returns n points log-spaced over [lo, hi] inclusive.
+func logspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		frac := float64(i) / float64(n-1)
+		out[i] = lo * math.Pow(hi/lo, frac)
+	}
+	return out
+}
+
+// linspace returns n points evenly spaced over [lo, hi] inclusive.
+func linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// renderTable renders rows of columns as an aligned text table.
+func renderTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// Sender-diversity experiment (E8): Table 7 / Figure 9. A
+// throughput-sensitive sender (delta = 0.1) and a delay-sensitive
+// sender (delta = 10) are trained either naively (each against copies
+// of itself) or co-optimized (each trained knowing 0-2 senders of the
+// other type share the link), then tested alone and together on a
+// 10 Mbps, 100 ms, no-drop dumbbell with 1 s on/off workload.
+
+// Diversity deltas from §4.6.
+const (
+	TptSenderDelta = 0.1
+	DelSenderDelta = 10.0
+)
+
+func diversityBaseCfg(delta float64) remy.Config {
+	return remy.Config{
+		Topology:     scenario.Dumbbell,
+		LinkSpeedMin: 10 * units.Mbps,
+		LinkSpeedMax: 10 * units.Mbps,
+		MinRTTMin:    100 * units.Millisecond,
+		MinRTTMax:    100 * units.Millisecond,
+		SendersMin:   1,
+		SendersMax:   2,
+		MeanOn:       units.Second,
+		MeanOff:      units.Second,
+		Buffering:    scenario.NoDrop,
+		Delta:        delta,
+		Mask:         remycc.AllSignals(),
+	}
+}
+
+// trainDiversityPair returns the (tpt, del) trees. Naive trees are
+// trained homogeneously. Co-optimized trees are produced by alternate
+// optimization: each protocol retrained against the other's current
+// tree, twice, maximizing the joint objective (the paper's
+// co-optimization).
+func trainDiversityPair(e Effort, coopt bool, log func(string, ...any)) (tpt, del *remycc.Tree) {
+	trainOne := func(name string, delta float64, other *remycc.Tree, otherDelta float64, round int) *remycc.Tree {
+		cfg := diversityBaseCfg(delta)
+		if other != nil {
+			cfg.Other = other
+			cfg.OtherDelta = otherDelta
+			cfg.OtherCountMin = 0
+			cfg.OtherCountMax = 2
+			cfg.IncludeOtherInObjective = true
+		}
+		return TaoSpec{Name: fmt.Sprintf("%s-r%d", name, round), Seed: 0x0e8, Cfg: cfg}.Train(e, log)
+	}
+	if !coopt {
+		tpt = trainOne("Tao-tpt-naive", TptSenderDelta, nil, 0, 0)
+		del = trainOne("Tao-del-naive", DelSenderDelta, nil, 0, 0)
+		return tpt, del
+	}
+	// Alternate optimization, starting from the naive protocols.
+	tpt = trainOne("Tao-tpt-naive", TptSenderDelta, nil, 0, 0)
+	del = trainOne("Tao-del-naive", DelSenderDelta, nil, 0, 0)
+	for round := 1; round <= 2; round++ {
+		tpt = trainOne("Tao-tpt-coopt", TptSenderDelta, del, DelSenderDelta, round)
+		del = trainOne("Tao-del-coopt", DelSenderDelta, tpt, TptSenderDelta, round)
+	}
+	return tpt, del
+}
+
+// DiversityRow is one (training, setting, sender) cell of Figure 9.
+type DiversityRow struct {
+	Training string // "naive" or "co-optimized"
+	Setting  string // "alone" or "mixed"
+	Sender   string // "Tpt" or "Del"
+	TptMbps  float64
+	QueueMs  float64
+}
+
+// DiversityResult is the Figure 9 dataset.
+type DiversityResult struct {
+	Rows []DiversityRow
+}
+
+// RunDiversity trains both pairs and evaluates the Table 7b settings.
+func RunDiversity(e Effort, log func(string, ...any)) *DiversityResult {
+	res := &DiversityResult{}
+	for _, mode := range []struct {
+		name  string
+		coopt bool
+	}{
+		{"naive", false},
+		{"co-optimized", true},
+	} {
+		tptTree, delTree := trainDiversityPair(e, mode.coopt, log)
+
+		eval := func(setting string, senders []scenario.Sender, report map[int]string) {
+			type acc struct{ tpt, qd []float64 }
+			accs := map[string]*acc{}
+			root := rng.New(e.Seed).Split("diversity").Split(mode.name).Split(setting)
+			for rep := 0; rep < e.TestReplicas; rep++ {
+				spec := scenario.Spec{
+					Topology:  scenario.Dumbbell,
+					LinkSpeed: 10 * units.Mbps,
+					MinRTT:    100 * units.Millisecond,
+					Buffering: scenario.NoDrop,
+					MeanOn:    units.Second,
+					MeanOff:   units.Second,
+					Duration:  e.TestDuration,
+					Seed:      root.SplitN("replica", rep),
+				}
+				// Fresh controller instances each replica.
+				spec.Senders = make([]scenario.Sender, len(senders))
+				for i, s := range senders {
+					alg := remycc.New(tptTree)
+					if s.Delta == DelSenderDelta {
+						alg = remycc.New(delTree)
+					}
+					spec.Senders[i] = scenario.Sender{Alg: alg, Delta: s.Delta}
+				}
+				results := scenario.Run(spec)
+				for fi, name := range report {
+					r := results[fi]
+					if r.OnTime == 0 {
+						continue
+					}
+					a := accs[name]
+					if a == nil {
+						a = &acc{}
+						accs[name] = a
+					}
+					a.tpt = append(a.tpt, float64(r.Throughput)/1e6)
+					a.qd = append(a.qd, r.QueueDelay.Seconds()*1e3)
+				}
+			}
+			for name, a := range accs {
+				res.Rows = append(res.Rows, DiversityRow{
+					Training: mode.name,
+					Setting:  setting,
+					Sender:   name,
+					TptMbps:  mean(a.tpt),
+					QueueMs:  mean(a.qd),
+				})
+			}
+		}
+
+		// Alone: two senders of the same type (a homogeneous network).
+		eval("alone", []scenario.Sender{{Delta: TptSenderDelta}, {Delta: TptSenderDelta}},
+			map[int]string{0: "Tpt", 1: "Tpt"})
+		eval("alone", []scenario.Sender{{Delta: DelSenderDelta}, {Delta: DelSenderDelta}},
+			map[int]string{0: "Del", 1: "Del"})
+		// Mixed: one of each (Table 7b).
+		eval("mixed", []scenario.Sender{{Delta: TptSenderDelta}, {Delta: DelSenderDelta}},
+			map[int]string{0: "Tpt", 1: "Del"})
+	}
+	return res
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Row returns the cell for (training, setting, sender), or nil.
+func (r *DiversityResult) Row(training, setting, sender string) *DiversityRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Training == training && row.Setting == setting && row.Sender == sender {
+			return row
+		}
+	}
+	return nil
+}
+
+// Table renders the Figure 9 dataset.
+func (r *DiversityResult) Table() string {
+	header := []string{"training", "setting", "sender", "tpt (Mbps)", "queue delay (ms)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Training, row.Setting, row.Sender,
+			fmt.Sprintf("%.2f", row.TptMbps),
+			fmt.Sprintf("%.1f", row.QueueMs),
+		})
+	}
+	return renderTable(header, rows)
+}

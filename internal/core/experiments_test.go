@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests exercise the heavier sweep experiments at quick effort
+// and assert the coarse shapes the paper reports. They are skipped
+// under -short.
+
+func TestLinkSpeedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := RunLinkSpeed(QuickEffort(), nil)
+	if len(res.Series) != 6 {
+		t.Fatalf("expected 6 series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Objective) != len(res.SpeedsMbps) {
+			t.Fatalf("series %s has %d points, want %d", s.Protocol, len(s.Objective), len(res.SpeedsMbps))
+		}
+	}
+	// Within the 22-44 Mbps design range, every Tao whose range covers
+	// it beats Cubic (Figure 2's headline).
+	cub := res.MeanObjectiveInRange("Cubic", 20, 50)
+	for _, name := range []string{"Tao-1000x", "Tao-100x", "Tao-10x", "Tao-2x"} {
+		tao := res.MeanObjectiveInRange(name, 20, 50)
+		if tao <= cub {
+			t.Errorf("%s (%.3f) does not beat Cubic (%.3f) near the center of its range", name, tao, cub)
+		}
+	}
+	// All normalized objectives are <= a small positive bound (the
+	// omniscient reference is the ceiling up to estimation noise).
+	for _, s := range res.Series {
+		for i, v := range s.Objective {
+			if v > 0.25 {
+				t.Errorf("%s at %.1f Mbps scored %.3f above the omniscient ceiling",
+					s.Protocol, res.SpeedsMbps[i], v)
+			}
+		}
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestPropDelayShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := RunPropDelay(QuickEffort(), nil)
+	// Every Tao beats Cubic over the 50-250 ms band covered by all
+	// training ranges' vicinity (Figure 4: the Tao curves sit far
+	// above Cubic and Cubic-over-sfqCoDel).
+	cub := res.MeanObjectiveInRange("Cubic", 50, 250)
+	for _, r := range PropDelayRanges {
+		tao := res.MeanObjectiveInRange(r.Name, 50, 250)
+		if tao <= cub {
+			t.Errorf("%s (%.3f) does not beat Cubic (%.3f) over 50-250ms", r.Name, tao, cub)
+		}
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestMultiplexingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := RunMultiplexing(QuickEffort(), nil)
+	for _, panel := range []string{"5bdp", "nodrop"} {
+		if len(res.Panels[panel]) == 0 {
+			t.Fatalf("missing panel %s", panel)
+		}
+	}
+	// Figure 3's tradeoff: the narrow-range Tao (1-2) does better at 1
+	// sender than the broad Tao (1-100), and the broad Tao does better
+	// at 100 senders than the narrow one — in both buffer panels.
+	for _, panel := range []string{"5bdp", "nodrop"} {
+		narrowLow, ok1 := res.ObjectiveAt(panel, "Tao-1-2", 1)
+		broadLow, ok2 := res.ObjectiveAt(panel, "Tao-1-100", 1)
+		narrowHigh, ok3 := res.ObjectiveAt(panel, "Tao-1-2", 100)
+		broadHigh, ok4 := res.ObjectiveAt(panel, "Tao-1-100", 100)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			t.Fatalf("%s: missing endpoints in sweep %v", panel, res.Senders)
+		}
+		if narrowLow <= broadLow {
+			t.Errorf("%s: Tao-1-2 at n=1 (%.3f) not above Tao-1-100 (%.3f)", panel, narrowLow, broadLow)
+		}
+		if broadHigh <= narrowHigh {
+			t.Errorf("%s: Tao-1-100 at n=100 (%.3f) not above Tao-1-2 (%.3f)", panel, broadHigh, narrowHigh)
+		}
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestStructureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := RunStructure(QuickEffort(), nil)
+	// Figure 6: both Taos carry more long-flow throughput than Cubic
+	// on average, and nobody beats the proportionally fair locus by
+	// a meaningful margin.
+	one := res.MeanEqualTpt("Tao-one-bottleneck")
+	two := res.MeanEqualTpt("Tao-two-bottleneck")
+	cub := res.MeanEqualTpt("Cubic")
+	omni := res.MeanEqualTpt("Omniscient")
+	if one <= cub {
+		t.Errorf("Tao-one-bottleneck mean flow-1 tpt (%.2f) not above Cubic (%.2f)", one, cub)
+	}
+	if two <= cub {
+		t.Errorf("Tao-two-bottleneck mean flow-1 tpt (%.2f) not above Cubic (%.2f)", two, cub)
+	}
+	if one > omni*1.15 || two > omni*1.15 {
+		t.Errorf("a Tao exceeded the omniscient locus: one=%.2f two=%.2f omni=%.2f", one, two, omni)
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestDiversityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res := RunDiversity(QuickEffort(), nil)
+	// Figure 9's headline effects:
+	// (1) naive mixed: the delay-sensitive sender suffers much higher
+	//     delay than when co-optimized;
+	// (2) co-optimization costs the throughput-sensitive sender
+	//     throughput when alone ("the effect of playing nice").
+	naiveDel := res.Row("naive", "mixed", "Del")
+	cooptDel := res.Row("co-optimized", "mixed", "Del")
+	naiveTptAlone := res.Row("naive", "alone", "Tpt")
+	cooptTptAlone := res.Row("co-optimized", "alone", "Tpt")
+	if naiveDel == nil || cooptDel == nil || naiveTptAlone == nil || cooptTptAlone == nil {
+		t.Fatalf("missing rows: %+v", res.Rows)
+	}
+	if cooptDel.QueueMs >= naiveDel.QueueMs {
+		t.Errorf("co-optimization did not reduce the Del sender's mixed-network delay: %.1f >= %.1f",
+			cooptDel.QueueMs, naiveDel.QueueMs)
+	}
+	if cooptTptAlone.TptMbps >= naiveTptAlone.TptMbps {
+		t.Errorf("co-optimization did not cost the Tpt sender throughput when alone: %.2f >= %.2f",
+			cooptTptAlone.TptMbps, naiveTptAlone.TptMbps)
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestUnifiedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	e := QuickEffort()
+	res := RunUnified(e, nil)
+	if len(res.Rows) != e.SweepPoints*2 {
+		t.Fatalf("got %d draws, want %d", len(res.Rows), e.SweepPoints*2)
+	}
+	tao, cubic, _ := res.MeanObjectives()
+	// The extension's hypothesis (and the paper's Figure 2 hint): a
+	// single broadly-trained Tao outperforms Cubic on average across
+	// random networks.
+	if tao <= cubic {
+		t.Errorf("unified Tao mean objective %.3f not above Cubic %.3f", tao, cubic)
+	}
+	if res.WinRateVsCubic() < 0.5 {
+		t.Errorf("win rate vs Cubic = %.2f, want majority", res.WinRateVsCubic())
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tao_unified_obj") {
+		t.Error("csv header missing")
+	}
+}

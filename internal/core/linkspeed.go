@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/omniscient"
+	"learnability/internal/remy"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// Link-speed operating-range experiment (E2): Table 2 / Figure 2.
+// Four Taos are trained on nested link-speed ranges centered on
+// 32 Mbps (the geometric mean of 1 and 1000 Mbps) and tested across a
+// 1–1000 Mbps sweep against Cubic and Cubic-over-sfqCoDel, scoring the
+// normalized objective so the omniscient protocol sits at 0.
+
+// LinkSpeedRanges are the Table 2a training ranges.
+var LinkSpeedRanges = []struct {
+	Name     string
+	Min, Max units.Rate
+}{
+	{"Tao-1000x", 1 * units.Mbps, 1000 * units.Mbps},
+	{"Tao-100x", 3200 * units.Kbps, 320 * units.Mbps},
+	{"Tao-10x", 10 * units.Mbps, 100 * units.Mbps},
+	{"Tao-2x", 22 * units.Mbps, 44 * units.Mbps},
+}
+
+func linkSpeedTaoSpec(name string, lo, hi units.Rate) TaoSpec {
+	return TaoSpec{
+		Name: name,
+		Seed: 0x0e2,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: lo,
+			LinkSpeedMax: hi,
+			MinRTTMin:    150 * units.Millisecond,
+			MinRTTMax:    150 * units.Millisecond,
+			SendersMin:   2,
+			SendersMax:   2,
+			MeanOn:       units.Second,
+			MeanOff:      units.Second,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    5,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// LinkSpeedSeries is one protocol's Figure 2 curve.
+type LinkSpeedSeries struct {
+	Protocol string
+	// TrainedRange is empty for baselines.
+	TrainedMin, TrainedMax units.Rate
+	// Objective[i] is the normalized objective at SpeedsMbps[i].
+	Objective []float64
+}
+
+// LinkSpeedResult is the Figure 2 dataset.
+type LinkSpeedResult struct {
+	SpeedsMbps []float64
+	Series     []LinkSpeedSeries
+}
+
+// RunLinkSpeed trains the four Taos and sweeps the testing link speed
+// from 1 to 1000 Mbps.
+func RunLinkSpeed(e Effort, log func(string, ...any)) *LinkSpeedResult {
+	var protocols []Protocol
+	var ranges [][2]units.Rate
+	for _, r := range LinkSpeedRanges {
+		tree := linkSpeedTaoSpec(r.Name, r.Min, r.Max).Train(e, log)
+		protocols = append(protocols, taoProtocol(r.Name, tree, remycc.AllSignals()))
+		ranges = append(ranges, [2]units.Rate{r.Min, r.Max})
+	}
+	protocols = append(protocols, cubicProtocol(), cubicSfqCoDelProtocol())
+	ranges = append(ranges, [2]units.Rate{}, [2]units.Rate{})
+
+	res := &LinkSpeedResult{SpeedsMbps: logspace(1, 1000, e.SweepPoints)}
+	series := make([]LinkSpeedSeries, len(protocols))
+	for pi, p := range protocols {
+		series[pi] = LinkSpeedSeries{
+			Protocol:   p.Name,
+			TrainedMin: ranges[pi][0],
+			TrainedMax: ranges[pi][1],
+		}
+	}
+
+	const minRTT = 150 * units.Millisecond
+	for _, mbps := range res.SpeedsMbps {
+		speed := units.Rate(mbps) * units.Mbps
+		tmpl := scenario.Spec{
+			Topology:  scenario.Dumbbell,
+			LinkSpeed: speed,
+			MinRTT:    minRTT,
+			Buffering: scenario.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    units.Second,
+			MeanOff:   units.Second,
+			Duration:  e.TestDuration,
+		}
+		sys := omniscient.Dumbbell(speed, minRTT, 2, 0.5)
+		omniTpt := sys.ExpectedThroughput(0)
+		omniDelay := sys.Delay(0)
+		label := fmt.Sprintf("linkspeed-%.3f", mbps)
+		for pi, p := range protocols {
+			results := evalPoint(e, p, tmpl, 2, label)
+			series[pi].Objective = append(series[pi].Objective,
+				meanNormalizedObjective(results, omniTpt, omniDelay, 1))
+		}
+	}
+	res.Series = series
+	return res
+}
+
+// Series returns the named series, or nil.
+func (r *LinkSpeedResult) Series_(name string) *LinkSpeedSeries {
+	for i := range r.Series {
+		if r.Series[i].Protocol == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// MeanObjectiveInRange averages a series' objective over the sweep
+// points falling inside [lo, hi] Mbps.
+func (r *LinkSpeedResult) MeanObjectiveInRange(name string, lo, hi float64) float64 {
+	s := r.Series_(name)
+	if s == nil {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i, mbps := range r.SpeedsMbps {
+		if mbps >= lo*0.999 && mbps <= hi*1.001 {
+			sum += s.Objective[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table renders the Figure 2 dataset (rows = link speeds, columns =
+// protocols; omniscient is the 0 reference by construction).
+func (r *LinkSpeedResult) Table() string {
+	header := []string{"link speed (Mbps)"}
+	for _, s := range r.Series {
+		header = append(header, s.Protocol)
+	}
+	header = append(header, "Omniscient")
+	var rows [][]string
+	for i, mbps := range r.SpeedsMbps {
+		row := []string{fmt.Sprintf("%.2f", mbps)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%+.3f", s.Objective[i]))
+		}
+		row = append(row, "+0.000")
+		rows = append(rows, row)
+	}
+	return renderTable(header, rows)
+}

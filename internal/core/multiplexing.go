@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/omniscient"
+	"learnability/internal/remy"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// Degree-of-multiplexing experiment (E3): Table 3 / Figure 3. Five
+// Taos are trained on a 15 Mbps, 150 ms dumbbell with 1..max senders
+// (max in {2, 10, 20, 50, 100}) and tested as the number of senders
+// sweeps 1..100, once with 5 BDP of buffering and once with a no-drop
+// buffer.
+
+// MultiplexingRanges are the Table 3a sender-count ceilings.
+var MultiplexingRanges = []int{2, 10, 20, 50, 100}
+
+func multiplexingTaoSpec(maxSenders int) TaoSpec {
+	return TaoSpec{
+		Name: fmt.Sprintf("Tao-1-%d", maxSenders),
+		Seed: 0x0e3,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: 15 * units.Mbps,
+			LinkSpeedMax: 15 * units.Mbps,
+			MinRTTMin:    150 * units.Millisecond,
+			MinRTTMax:    150 * units.Millisecond,
+			SendersMin:   1,
+			SendersMax:   maxSenders,
+			MeanOn:       units.Second,
+			MeanOff:      units.Second,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    5,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// MultiplexingSeries is one protocol's curve in one panel of Figure 3.
+type MultiplexingSeries struct {
+	Protocol  string
+	Objective []float64 // indexed like MultiplexingResult.Senders
+}
+
+// MultiplexingResult is the Figure 3 dataset: one panel per buffer
+// configuration.
+type MultiplexingResult struct {
+	Senders []int
+	// Panels maps buffer label ("5bdp", "nodrop") to series.
+	Panels map[string][]MultiplexingSeries
+}
+
+// RunMultiplexing trains the five Taos and sweeps the sender count.
+func RunMultiplexing(e Effort, log func(string, ...any)) *MultiplexingResult {
+	var protocols []Protocol
+	for _, maxS := range MultiplexingRanges {
+		spec := multiplexingTaoSpec(maxS)
+		tree := spec.Train(e, log)
+		protocols = append(protocols, taoProtocol(spec.Name, tree, remycc.AllSignals()))
+	}
+	protocols = append(protocols, cubicProtocol(), cubicSfqCoDelProtocol())
+
+	res := &MultiplexingResult{Panels: map[string][]MultiplexingSeries{}}
+	// Sender counts: log-ish grid capped by SweepPoints.
+	grid := []int{1, 2, 5, 10, 20, 35, 50, 75, 100}
+	if e.SweepPoints < len(grid) {
+		grid = thinInts(grid, e.SweepPoints)
+	}
+	res.Senders = grid
+
+	for _, panel := range []struct {
+		label string
+		buf   scenario.Buffering
+	}{
+		{"5bdp", scenario.FiniteDropTail},
+		{"nodrop", scenario.NoDrop},
+	} {
+		series := make([]MultiplexingSeries, len(protocols))
+		for pi, p := range protocols {
+			series[pi].Protocol = p.Name
+		}
+		for _, n := range grid {
+			tmpl := scenario.Spec{
+				Topology:  scenario.Dumbbell,
+				LinkSpeed: 15 * units.Mbps,
+				MinRTT:    150 * units.Millisecond,
+				Buffering: panel.buf,
+				BufferBDP: 5,
+				MeanOn:    units.Second,
+				MeanOff:   units.Second,
+				Duration:  e.TestDuration,
+			}
+			sys := omniscient.Dumbbell(15*units.Mbps, 150*units.Millisecond, n, 0.5)
+			omniTpt := sys.ExpectedThroughput(0)
+			omniDelay := sys.Delay(0)
+			label := fmt.Sprintf("mux-%s-%d", panel.label, n)
+			// Note: the Cubic-over-sfqCoDel protocol overrides the
+			// panel's buffering with its own gateway in both panels
+			// (evalPoint applies the override), so in the "no-drop"
+			// panel its CoDel still drops — as in the paper, where
+			// sfqCoDel is an inherent part of that baseline.
+			for pi, p := range protocols {
+				results := evalPoint(e, p, tmpl, n, label)
+				series[pi].Objective = append(series[pi].Objective,
+					meanNormalizedObjective(results, omniTpt, omniDelay, 1))
+			}
+		}
+		res.Panels[panel.label] = series
+	}
+	return res
+}
+
+// thinInts picks k roughly evenly spaced elements of xs, keeping the
+// first and last.
+func thinInts(xs []int, k int) []int {
+	if k >= len(xs) || k < 2 {
+		return xs
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, xs[i*(len(xs)-1)/(k-1)])
+	}
+	return out
+}
+
+// Series returns the named series within a panel, or nil.
+func (r *MultiplexingResult) Series(panel, name string) *MultiplexingSeries {
+	for i := range r.Panels[panel] {
+		if r.Panels[panel][i].Protocol == name {
+			return &r.Panels[panel][i]
+		}
+	}
+	return nil
+}
+
+// ObjectiveAt returns the series value at the given sender count
+// (false if absent).
+func (r *MultiplexingResult) ObjectiveAt(panel, name string, senders int) (float64, bool) {
+	s := r.Series(panel, name)
+	if s == nil {
+		return 0, false
+	}
+	for i, n := range r.Senders {
+		if n == senders {
+			return s.Objective[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table renders both Figure 3 panels.
+func (r *MultiplexingResult) Table() string {
+	out := ""
+	for _, panel := range []string{"5bdp", "nodrop"} {
+		series := r.Panels[panel]
+		header := []string{fmt.Sprintf("senders [%s]", panel)}
+		for _, s := range series {
+			header = append(header, s.Protocol)
+		}
+		header = append(header, "Omniscient")
+		var rows [][]string
+		for i, n := range r.Senders {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, s := range series {
+				row = append(row, fmt.Sprintf("%+.3f", s.Objective[i]))
+			}
+			row = append(row, "+0.000")
+			rows = append(rows, row)
+		}
+		out += renderTable(header, rows) + "\n"
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Plot tests use synthetic results so they need no training.
+
+func TestLinkSpeedPlot(t *testing.T) {
+	r := &LinkSpeedResult{
+		SpeedsMbps: []float64{1, 10, 100, 1000},
+		Series: []LinkSpeedSeries{
+			{Protocol: "Tao-2x", Objective: []float64{-2, -1, -0.5, -3}},
+			{Protocol: "Cubic", Objective: []float64{-2.5, -2.5, -2.5, -2.5}},
+		},
+	}
+	out := r.Plot()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "Tao-2x") {
+		t.Fatalf("plot missing pieces:\n%s", out)
+	}
+}
+
+func TestMultiplexingPlot(t *testing.T) {
+	r := &MultiplexingResult{
+		Senders: []int{1, 50, 100},
+		Panels: map[string][]MultiplexingSeries{
+			"5bdp":   {{Protocol: "Tao-1-2", Objective: []float64{-0.3, -3, -4}}},
+			"nodrop": {{Protocol: "Tao-1-2", Objective: []float64{-0.3, -5, -6}}},
+		},
+	}
+	out := r.Plot()
+	if strings.Count(out, "Figure 3") != 2 {
+		t.Fatalf("expected both panels:\n%s", out)
+	}
+}
+
+func TestPropDelayPlot(t *testing.T) {
+	r := &PropDelayResult{
+		RTTsMs: []float64{1, 150, 300},
+		Series: []PropDelaySeries{{Protocol: "Tao-rtt-150", Objective: []float64{-2, -0.5, -1}}},
+	}
+	if out := r.Plot(); !strings.Contains(out, "Figure 4") {
+		t.Fatalf("plot:\n%s", out)
+	}
+}
+
+func TestStructurePlot(t *testing.T) {
+	r := &StructureResult{
+		SpeedsMbps: []float64{10, 100},
+		Series: []StructureSeries{{
+			Protocol:       "Omniscient",
+			EqualTptMbps:   []float64{5, 58},
+			Fast100TptMbps: []float64{7, 58},
+		}},
+	}
+	if out := r.Plot(); !strings.Contains(out, "Figure 6") {
+		t.Fatalf("plot:\n%s", out)
+	}
+}
+
+func TestTimeDomainPlot(t *testing.T) {
+	r := &TimeDomainResult{
+		Traces: []TimeDomainTrace{{
+			Protocol:  "Tao-TCP-aware",
+			SampleSec: []float64{0, 5, 10, 15},
+			QueuePkts: []int{0, 100, 150, 0},
+			DropSec:   []float64{6.5, 7.0},
+		}},
+	}
+	out := r.Plot()
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "drops") {
+		t.Fatalf("plot:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/omniscient"
+	"learnability/internal/remy"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// Propagation-delay experiment (E4): Table 4 / Figure 4. Four Taos are
+// trained on a 33 Mbps dumbbell with different minimum-RTT training
+// ranges (exactly 150 ms; 145–155; 140–160; 50–250) and tested as the
+// minimum RTT sweeps 1–300 ms.
+
+// PropDelayRanges are the Table 4a training ranges.
+var PropDelayRanges = []struct {
+	Name     string
+	Min, Max units.Duration
+}{
+	{"Tao-rtt-150", 150 * units.Millisecond, 150 * units.Millisecond},
+	{"Tao-rtt-145-155", 145 * units.Millisecond, 155 * units.Millisecond},
+	{"Tao-rtt-140-160", 140 * units.Millisecond, 160 * units.Millisecond},
+	{"Tao-rtt-50-250", 50 * units.Millisecond, 250 * units.Millisecond},
+}
+
+func propDelayTaoSpec(name string, lo, hi units.Duration) TaoSpec {
+	return TaoSpec{
+		Name: name,
+		Seed: 0x0e4,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: 33 * units.Mbps,
+			LinkSpeedMax: 33 * units.Mbps,
+			MinRTTMin:    lo,
+			MinRTTMax:    hi,
+			SendersMin:   2,
+			SendersMax:   2,
+			MeanOn:       units.Second,
+			MeanOff:      units.Second,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    5,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// PropDelaySeries is one protocol's Figure 4 curve.
+type PropDelaySeries struct {
+	Protocol  string
+	Objective []float64
+}
+
+// PropDelayResult is the Figure 4 dataset.
+type PropDelayResult struct {
+	RTTsMs []float64
+	Series []PropDelaySeries
+}
+
+// RunPropDelay trains the four Taos and sweeps the testing minimum
+// RTT from 1 to 300 ms.
+func RunPropDelay(e Effort, log func(string, ...any)) *PropDelayResult {
+	var protocols []Protocol
+	for _, r := range PropDelayRanges {
+		tree := propDelayTaoSpec(r.Name, r.Min, r.Max).Train(e, log)
+		protocols = append(protocols, taoProtocol(r.Name, tree, remycc.AllSignals()))
+	}
+	protocols = append(protocols, cubicProtocol(), cubicSfqCoDelProtocol())
+
+	res := &PropDelayResult{RTTsMs: linspace(1, 300, e.SweepPoints)}
+	series := make([]PropDelaySeries, len(protocols))
+	for pi, p := range protocols {
+		series[pi].Protocol = p.Name
+	}
+
+	for _, ms := range res.RTTsMs {
+		minRTT := units.DurationFromSeconds(ms / 1e3)
+		if minRTT < units.Millisecond {
+			minRTT = units.Millisecond
+		}
+		tmpl := scenario.Spec{
+			Topology:  scenario.Dumbbell,
+			LinkSpeed: 33 * units.Mbps,
+			MinRTT:    minRTT,
+			Buffering: scenario.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    units.Second,
+			MeanOff:   units.Second,
+			Duration:  e.TestDuration,
+		}
+		sys := omniscient.Dumbbell(33*units.Mbps, minRTT, 2, 0.5)
+		omniTpt := sys.ExpectedThroughput(0)
+		omniDelay := sys.Delay(0)
+		label := fmt.Sprintf("rtt-%.1f", ms)
+		for pi, p := range protocols {
+			results := evalPoint(e, p, tmpl, 2, label)
+			series[pi].Objective = append(series[pi].Objective,
+				meanNormalizedObjective(results, omniTpt, omniDelay, 1))
+		}
+	}
+	res.Series = series
+	return res
+}
+
+// Series_ returns the named series, or nil.
+func (r *PropDelayResult) Series_(name string) *PropDelaySeries {
+	for i := range r.Series {
+		if r.Series[i].Protocol == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// MeanObjectiveInRange averages a series over RTT points in [lo, hi]
+// milliseconds.
+func (r *PropDelayResult) MeanObjectiveInRange(name string, lo, hi float64) float64 {
+	s := r.Series_(name)
+	if s == nil {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i, ms := range r.RTTsMs {
+		if ms >= lo && ms <= hi {
+			sum += s.Objective[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table renders the Figure 4 dataset.
+func (r *PropDelayResult) Table() string {
+	header := []string{"minRTT (ms)"}
+	for _, s := range r.Series {
+		header = append(header, s.Protocol)
+	}
+	header = append(header, "Omniscient")
+	var rows [][]string
+	for i, ms := range r.RTTsMs {
+		row := []string{fmt.Sprintf("%.0f", ms)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%+.3f", s.Objective[i]))
+		}
+		row = append(row, "+0.000")
+		rows = append(rows, row)
+	}
+	return renderTable(header, rows)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Unit tests for result-type helpers using synthetic data (no
+// training, no simulation).
+
+func TestLinkSpeedResultHelpers(t *testing.T) {
+	r := &LinkSpeedResult{
+		SpeedsMbps: []float64{1, 10, 100},
+		Series: []LinkSpeedSeries{
+			{Protocol: "A", Objective: []float64{-1, -2, -3}},
+			{Protocol: "B", Objective: []float64{-4, -5, -6}},
+		},
+	}
+	if s := r.Series_("B"); s == nil || s.Objective[0] != -4 {
+		t.Fatalf("Series_ = %+v", s)
+	}
+	if r.Series_("missing") != nil {
+		t.Fatal("missing series should be nil")
+	}
+	if got := r.MeanObjectiveInRange("A", 1, 10); got != -1.5 {
+		t.Fatalf("MeanObjectiveInRange = %v", got)
+	}
+	if got := r.MeanObjectiveInRange("A", 500, 900); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+	if got := r.MeanObjectiveInRange("missing", 1, 100); got != 0 {
+		t.Fatalf("missing series mean = %v", got)
+	}
+	tbl := r.Table()
+	if !strings.Contains(tbl, "A") || !strings.Contains(tbl, "Omniscient") {
+		t.Fatalf("table = %q", tbl)
+	}
+}
+
+func TestPropDelayResultHelpers(t *testing.T) {
+	r := &PropDelayResult{
+		RTTsMs: []float64{1, 150, 300},
+		Series: []PropDelaySeries{{Protocol: "X", Objective: []float64{-3, -1, -2}}},
+	}
+	if got := r.MeanObjectiveInRange("X", 100, 350); got != -1.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if r.Series_("X") == nil || r.Series_("nope") != nil {
+		t.Fatal("Series_ lookup broken")
+	}
+}
+
+func TestMultiplexingResultHelpers(t *testing.T) {
+	r := &MultiplexingResult{
+		Senders: []int{1, 100},
+		Panels: map[string][]MultiplexingSeries{
+			"5bdp": {{Protocol: "T", Objective: []float64{-0.5, -4}}},
+		},
+	}
+	if v, ok := r.ObjectiveAt("5bdp", "T", 100); !ok || v != -4 {
+		t.Fatalf("ObjectiveAt = %v %v", v, ok)
+	}
+	if _, ok := r.ObjectiveAt("5bdp", "T", 7); ok {
+		t.Fatal("absent sender count should not resolve")
+	}
+	if _, ok := r.ObjectiveAt("nodrop", "T", 1); ok {
+		t.Fatal("absent panel should not resolve")
+	}
+	if r.Series("5bdp", "missing") != nil {
+		t.Fatal("missing series should be nil")
+	}
+}
+
+func TestStructureResultHelpers(t *testing.T) {
+	r := &StructureResult{
+		SpeedsMbps: []float64{10, 100},
+		Series: []StructureSeries{{
+			Protocol:       "S",
+			EqualTptMbps:   []float64{2, 4},
+			Fast100TptMbps: []float64{3, 5},
+		}},
+	}
+	if got := r.MeanEqualTpt("S"); got != 3 {
+		t.Fatalf("MeanEqualTpt = %v", got)
+	}
+	if got := r.MeanEqualTpt("missing"); got != 0 {
+		t.Fatalf("missing = %v", got)
+	}
+	if !strings.Contains(r.Table(), "S [eq]") {
+		t.Fatalf("table = %q", r.Table())
+	}
+}
+
+func TestTCPAwareResultHelpers(t *testing.T) {
+	r := &TCPAwareResult{Rows: []TCPAwareRow{
+		{Setting: "homogeneous", Protocol: "P"},
+	}}
+	if r.Row("homogeneous", "P") == nil {
+		t.Fatal("row lookup failed")
+	}
+	if r.Row("vs-NewReno", "P") != nil {
+		t.Fatal("wrong setting resolved")
+	}
+}
+
+func TestDiversityResultHelpers(t *testing.T) {
+	r := &DiversityResult{Rows: []DiversityRow{
+		{Training: "naive", Setting: "mixed", Sender: "Del", QueueMs: 9},
+	}}
+	if row := r.Row("naive", "mixed", "Del"); row == nil || row.QueueMs != 9 {
+		t.Fatalf("row = %+v", row)
+	}
+	if r.Row("naive", "alone", "Del") != nil {
+		t.Fatal("wrong setting resolved")
+	}
+	if !strings.Contains(r.Table(), "naive") {
+		t.Fatal("table missing rows")
+	}
+}
+
+func TestKnockoutResultHelpers(t *testing.T) {
+	r := &KnockoutResult{Rows: []KnockoutRow{
+		{Name: "all", Removed: "", MeanObjective: 10},
+		{Name: "norec", Removed: "rec_ewma", MeanObjective: 8},
+		{Name: "noratio", Removed: "rtt_ratio", MeanObjective: 9.5},
+	}}
+	if r.MostValuableSignal() != "rec_ewma" {
+		t.Fatalf("MostValuableSignal = %q", r.MostValuableSignal())
+	}
+	if r.Row("rec_ewma") == nil || r.Row("") == nil {
+		t.Fatal("row lookup failed")
+	}
+	if (&KnockoutResult{}).MostValuableSignal() != "" {
+		t.Fatal("empty result should report no signal")
+	}
+	if !strings.Contains(r.Table(), "(none)") {
+		t.Fatalf("table = %q", r.Table())
+	}
+}
+
+func TestTimeDomainTraceHelpers(t *testing.T) {
+	tr := TimeDomainTrace{
+		SampleSec: []float64{0, 1, 2, 3},
+		QueuePkts: []int{0, 10, 20, 0},
+	}
+	if got := tr.MeanQueueBetween(1, 3); got != 15 {
+		t.Fatalf("MeanQueueBetween = %v", got)
+	}
+	if got := tr.MeanQueueBetween(10, 20); got != 0 {
+		t.Fatalf("empty window = %v", got)
+	}
+	r := &TimeDomainResult{Traces: []TimeDomainTrace{{Protocol: "p"}}}
+	if r.Trace("p") == nil || r.Trace("q") != nil {
+		t.Fatal("Trace lookup broken")
+	}
+}
+
+func TestUnifiedResultHelpers(t *testing.T) {
+	r := &UnifiedResult{Rows: []UnifiedRow{
+		{TaoObj: -1, CubicObj: -2, SfqObj: -1.5},
+		{TaoObj: -3, CubicObj: -2, SfqObj: -2},
+	}}
+	if got := r.WinRateVsCubic(); got != 0.5 {
+		t.Fatalf("WinRateVsCubic = %v", got)
+	}
+	tao, cubic, sfq := r.MeanObjectives()
+	if tao != -2 || cubic != -2 || sfq != -1.75 {
+		t.Fatalf("means = %v %v %v", tao, cubic, sfq)
+	}
+	if (&UnifiedResult{}).WinRateVsCubic() != 0 {
+		t.Fatal("empty result win rate should be 0")
+	}
+	if !strings.Contains(r.Table(), "win rate") {
+		t.Fatal("table missing summary")
+	}
+}
+
+func TestVegasResultHelpers(t *testing.T) {
+	r := &VegasResult{Rows: []VegasRow{{Setting: "homogeneous", Protocol: "Vegas"}}}
+	if r.Row("homogeneous", "Vegas") == nil || r.Row("vs-NewReno", "Vegas") != nil {
+		t.Fatal("row lookup broken")
+	}
+}
+
+func TestCalibrationResultHelpers(t *testing.T) {
+	r := &CalibrationResult{Rows: []CalibrationRow{{Protocol: "Omniscient"}}}
+	if r.Row("Omniscient") == nil || r.Row("Tao") != nil {
+		t.Fatal("row lookup broken")
+	}
+	if r.OmniscientTpt() != 0 {
+		t.Fatalf("OmniscientTpt = %v", r.OmniscientTpt())
+	}
+	if (&CalibrationResult{}).OmniscientTpt() != 0 {
+		t.Fatal("empty result omniscient tpt should be 0")
+	}
+}
+
+func TestCSVName(t *testing.T) {
+	if CSVName("fig1") != "fig1.csv" {
+		t.Fatalf("CSVName = %q", CSVName("fig1"))
+	}
+}

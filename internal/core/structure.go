@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/omniscient"
+	"learnability/internal/remy"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+// Structural-knowledge experiment (E5): Table 5 / Figures 5-6. A Tao
+// trained on a simplified single-bottleneck model is compared, on the
+// two-bottleneck parking-lot network, against a Tao trained with full
+// knowledge of the two-bottleneck structure, plus Cubic,
+// Cubic-over-sfqCoDel, and the omniscient proportionally fair locus.
+// The reported quantity is the throughput of Flow 1, the flow crossing
+// both bottlenecks.
+
+// structureOneBottleneckSpec models the network as one link whose
+// one-way delay (150 ms) matches the two-hop path, per Table 5.
+func structureOneBottleneckSpec() TaoSpec {
+	return TaoSpec{
+		Name: "Tao-one-bottleneck",
+		Seed: 0x0e5,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: 10 * units.Mbps,
+			LinkSpeedMax: 100 * units.Mbps,
+			MinRTTMin:    300 * units.Millisecond,
+			MinRTTMax:    300 * units.Millisecond,
+			SendersMin:   2,
+			SendersMax:   2,
+			MeanOn:       units.Second,
+			MeanOff:      units.Second,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    1,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// structureTwoBottleneckSpec trains on the true parking-lot topology
+// (two 75 ms hops, three flows).
+func structureTwoBottleneckSpec() TaoSpec {
+	return TaoSpec{
+		Name: "Tao-two-bottleneck",
+		Seed: 0x0e5,
+		Cfg: remy.Config{
+			Topology:     scenario.ParkingLot,
+			LinkSpeedMin: 10 * units.Mbps,
+			LinkSpeedMax: 100 * units.Mbps,
+			MinRTTMin:    300 * units.Millisecond, // long flow: 4 x 75 ms hops
+			MinRTTMax:    300 * units.Millisecond,
+			SendersMin:   3,
+			SendersMax:   3,
+			MeanOn:       units.Second,
+			MeanOff:      units.Second,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    1,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// StructureSeries is one protocol's Figure 6 curve: Flow 1 throughput
+// as the swept link's speed varies.
+type StructureSeries struct {
+	Protocol string
+	// EqualTptMbps[i]: both links at SpeedsMbps[i].
+	EqualTptMbps []float64
+	// Fast100TptMbps[i]: slower link at SpeedsMbps[i], faster at 100.
+	Fast100TptMbps []float64
+}
+
+// StructureResult is the Figure 6 dataset.
+type StructureResult struct {
+	SpeedsMbps []float64
+	Series     []StructureSeries
+}
+
+// RunStructure trains both Taos and sweeps the parking-lot link
+// speeds.
+func RunStructure(e Effort, log func(string, ...any)) *StructureResult {
+	oneTree := structureOneBottleneckSpec().Train(e, log)
+	twoTree := structureTwoBottleneckSpec().Train(e, log)
+
+	protocols := []Protocol{
+		taoProtocol("Tao-one-bottleneck", oneTree, remycc.AllSignals()),
+		taoProtocol("Tao-two-bottleneck", twoTree, remycc.AllSignals()),
+		cubicProtocol(),
+		cubicSfqCoDelProtocol(),
+	}
+
+	res := &StructureResult{SpeedsMbps: logspace(10, 100, e.SweepPoints)}
+	series := make([]StructureSeries, len(protocols)+1)
+	for pi, p := range protocols {
+		series[pi].Protocol = p.Name
+	}
+	series[len(protocols)].Protocol = "Omniscient"
+
+	flow1 := func(p Protocol, r1, r2 units.Rate, label string) float64 {
+		tmpl := scenario.Spec{
+			Topology:   scenario.ParkingLot,
+			LinkSpeed:  r1,
+			LinkSpeed2: r2,
+			MinRTT:     300 * units.Millisecond,
+			Buffering:  scenario.FiniteDropTail,
+			BufferBDP:  1,
+			MeanOn:     units.Second,
+			MeanOff:    units.Second,
+			Duration:   e.TestDuration,
+		}
+		if p.Gateway != nil {
+			tmpl.Buffering = *p.Gateway
+		}
+		var tpts []float64
+		root := rng.New(e.Seed).Split("structure").Split(label).Split(p.Name)
+		for rep := 0; rep < e.TestReplicas; rep++ {
+			spec := tmpl
+			spec.Seed = root.SplitN("replica", rep)
+			spec.Senders = []scenario.Sender{
+				{Alg: p.New(), Delta: 1},
+				{Alg: p.New(), Delta: 1},
+				{Alg: p.New(), Delta: 1},
+			}
+			results := scenario.Run(spec)
+			if results[0].OnTime > 0 {
+				tpts = append(tpts, float64(results[0].Throughput))
+			}
+		}
+		return stats.Mean(tpts)
+	}
+
+	for _, mbps := range res.SpeedsMbps {
+		s := units.Rate(mbps) * units.Mbps
+		for pi, p := range protocols {
+			series[pi].EqualTptMbps = append(series[pi].EqualTptMbps,
+				flow1(p, s, s, fmt.Sprintf("eq-%.1f", mbps))/1e6)
+			series[pi].Fast100TptMbps = append(series[pi].Fast100TptMbps,
+				flow1(p, s, 100*units.Mbps, fmt.Sprintf("f100-%.1f", mbps))/1e6)
+		}
+		// Omniscient locus: expected proportionally fair allocation of
+		// the long flow under the on/off process.
+		oi := len(protocols)
+		sysEq := omniscient.ParkingLot(s, s, 75*units.Millisecond, 0.5)
+		sysF1 := omniscient.ParkingLot(s, 100*units.Mbps, 75*units.Millisecond, 0.5)
+		series[oi].EqualTptMbps = append(series[oi].EqualTptMbps,
+			float64(sysEq.ExpectedThroughput(0))/1e6)
+		series[oi].Fast100TptMbps = append(series[oi].Fast100TptMbps,
+			float64(sysF1.ExpectedThroughput(0))/1e6)
+	}
+	res.Series = series
+	return res
+}
+
+// Series_ returns the named series, or nil.
+func (r *StructureResult) Series_(name string) *StructureSeries {
+	for i := range r.Series {
+		if r.Series[i].Protocol == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// MeanEqualTpt averages a series' equal-speed curve (Mbps).
+func (r *StructureResult) MeanEqualTpt(name string) float64 {
+	s := r.Series_(name)
+	if s == nil {
+		return 0
+	}
+	return stats.Mean(s.EqualTptMbps)
+}
+
+// Table renders the Figure 6 dataset.
+func (r *StructureResult) Table() string {
+	header := []string{"slower link (Mbps)"}
+	for _, s := range r.Series {
+		header = append(header, s.Protocol+" [eq]", s.Protocol+" [fast=100]")
+	}
+	var rows [][]string
+	for i, mbps := range r.SpeedsMbps {
+		row := []string{fmt.Sprintf("%.1f", mbps)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.2f", s.EqualTptMbps[i]),
+				fmt.Sprintf("%.2f", s.Fast100TptMbps[i]))
+		}
+		rows = append(rows, row)
+	}
+	return renderTable(header, rows)
+}

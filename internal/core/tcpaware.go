@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"learnability/internal/cc"
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+// TCP-awareness experiment (E6): Table 6 / Figure 7. Two Taos are
+// trained on a 10 Mbps, 100 ms dumbbell with 2 BDP of buffering and
+// near-continuous load: the TCP-naive Tao's model says all senders run
+// the same protocol, while the TCP-aware Tao's model says that half
+// the time one sender is AIMD TCP. Both are then tested homogeneously
+// (2 x Tao) and in a mixed network (Tao vs NewReno).
+
+func tcpAwareSpec(aware bool) TaoSpec {
+	name := "Tao-TCP-naive"
+	prob := 0.0
+	if aware {
+		name = "Tao-TCP-aware"
+		prob = 0.5
+	}
+	return TaoSpec{
+		Name: name,
+		Seed: 0x0e6,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: 9 * units.Mbps,
+			LinkSpeedMax: 11 * units.Mbps,
+			MinRTTMin:    100 * units.Millisecond,
+			MinRTTMax:    100 * units.Millisecond,
+			SendersMin:   2,
+			SendersMax:   2,
+			AIMDProb:     prob,
+			MeanOn:       5 * units.Second,
+			MeanOff:      10 * units.Millisecond,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    2,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// TCPAwareRow reports one sender group's outcome in one setting.
+type TCPAwareRow struct {
+	Setting  string // "homogeneous" or "vs-NewReno"
+	Protocol string // which protocol this row measures
+	stats.Summary
+}
+
+// TCPAwareResult is the Figure 7 dataset.
+type TCPAwareResult struct {
+	Rows []TCPAwareRow
+}
+
+// RunTCPAware trains both Taos and evaluates the Table 6b settings.
+func RunTCPAware(e Effort, log func(string, ...any)) *TCPAwareResult {
+	naive := tcpAwareSpec(false).Train(e, log)
+	aware := tcpAwareSpec(true).Train(e, log)
+
+	mkNaive := func() cc.Algorithm { return remycc.New(naive) }
+	mkAware := func() cc.Algorithm { return remycc.New(aware) }
+	mkReno := newRenoProtocol().New
+
+	res := &TCPAwareResult{}
+	// Each setting: two sender constructors plus which flows to report
+	// under which name.
+	type group struct {
+		name  string
+		flows []int
+	}
+	type setting struct {
+		label  string
+		mk     [2]func() cc.Algorithm
+		groups []group
+	}
+	settings := []setting{
+		{"homogeneous", [2]func() cc.Algorithm{mkNaive, mkNaive},
+			[]group{{"Tao-TCP-naive", []int{0, 1}}}},
+		{"homogeneous", [2]func() cc.Algorithm{mkAware, mkAware},
+			[]group{{"Tao-TCP-aware", []int{0, 1}}}},
+		{"homogeneous", [2]func() cc.Algorithm{mkReno, mkReno},
+			[]group{{"NewReno", []int{0, 1}}}},
+		{"vs-NewReno", [2]func() cc.Algorithm{mkNaive, mkReno},
+			[]group{{"Tao-TCP-naive", []int{0}}, {"NewReno (vs naive)", []int{1}}}},
+		{"vs-NewReno", [2]func() cc.Algorithm{mkAware, mkReno},
+			[]group{{"Tao-TCP-aware", []int{0}}, {"NewReno (vs aware)", []int{1}}}},
+	}
+
+	for si, st := range settings {
+		perFlow := make([][]scenario.Result, 2)
+		root := rng.New(e.Seed).Split("tcpaware").SplitN("setting", si)
+		for rep := 0; rep < e.TestReplicas; rep++ {
+			spec := scenario.Spec{
+				Topology:  scenario.Dumbbell,
+				LinkSpeed: 10 * units.Mbps,
+				MinRTT:    100 * units.Millisecond,
+				Buffering: scenario.FiniteDropTail,
+				BufferBDP: 2,
+				MeanOn:    5 * units.Second,
+				MeanOff:   10 * units.Millisecond,
+				Duration:  e.TestDuration,
+				Seed:      root.SplitN("replica", rep),
+				Senders: []scenario.Sender{
+					{Alg: st.mk[0](), Delta: 1},
+					{Alg: st.mk[1](), Delta: 1},
+				},
+			}
+			results := scenario.Run(spec)
+			perFlow[0] = append(perFlow[0], results[0])
+			perFlow[1] = append(perFlow[1], results[1])
+		}
+		for _, g := range st.groups {
+			var all []scenario.Result
+			for _, fi := range g.flows {
+				all = append(all, perFlow[fi]...)
+			}
+			res.Rows = append(res.Rows, TCPAwareRow{
+				Setting:  st.label,
+				Protocol: g.name,
+				Summary:  summarize(all),
+			})
+		}
+	}
+	return res
+}
+
+// Row returns the row for (setting, protocol), or nil.
+func (r *TCPAwareResult) Row(setting, protocol string) *TCPAwareRow {
+	for i := range r.Rows {
+		if r.Rows[i].Setting == setting && r.Rows[i].Protocol == protocol {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the Figure 7 dataset.
+func (r *TCPAwareResult) Table() string {
+	header := []string{"setting", "protocol", "median tpt (Mbps)", "median queue delay (ms)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Setting,
+			row.Protocol,
+			fmt.Sprintf("%.2f", row.MedianTptBps/1e6),
+			fmt.Sprintf("%.1f", row.MedianDelaySec*1e3),
+		})
+	}
+	return renderTable(header, rows)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/omniscient"
+	"learnability/internal/remy"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+// Unified-protocol experiment (extension). The paper's conclusion asks:
+// "can we tractably synthesize a single computer-generated protocol
+// that outperforms human-generated incumbents over a wide range of
+// topologies, link speeds, propagation delays, and degrees of
+// multiplexing simultaneously?" (§5). This experiment trains one Tao
+// on a joint distribution spanning all three dumbbell axes at once and
+// tests it against Cubic and Cubic-over-sfqCoDel on random draws from
+// an even wider distribution, reporting per-draw normalized objectives
+// and the win rate.
+
+// UnifiedTrainingRanges is the joint training distribution.
+var UnifiedTrainingRanges = struct {
+	SpeedMin, SpeedMax     units.Rate
+	RTTMin, RTTMax         units.Duration
+	SendersMin, SendersMax int
+}{
+	SpeedMin: 2 * units.Mbps, SpeedMax: 200 * units.Mbps,
+	RTTMin: 50 * units.Millisecond, RTTMax: 250 * units.Millisecond,
+	SendersMin: 1, SendersMax: 20,
+}
+
+func unifiedTaoSpec() TaoSpec {
+	r := UnifiedTrainingRanges
+	return TaoSpec{
+		Name: "Tao-unified",
+		Seed: 0x0ea,
+		Cfg: remy.Config{
+			Topology:     scenario.Dumbbell,
+			LinkSpeedMin: r.SpeedMin,
+			LinkSpeedMax: r.SpeedMax,
+			MinRTTMin:    r.RTTMin,
+			MinRTTMax:    r.RTTMax,
+			SendersMin:   r.SendersMin,
+			SendersMax:   r.SendersMax,
+			MeanOn:       units.Second,
+			MeanOff:      units.Second,
+			Buffering:    scenario.FiniteDropTail,
+			BufferBDP:    5,
+			Delta:        1,
+			Mask:         remycc.AllSignals(),
+		},
+	}
+}
+
+// UnifiedRow is one random testing draw.
+type UnifiedRow struct {
+	SpeedMbps float64
+	RTTMs     float64
+	Senders   int
+	// Normalized objective per protocol (omniscient = 0).
+	TaoObj, CubicObj, SfqObj float64
+}
+
+// UnifiedResult is the extension experiment's dataset.
+type UnifiedResult struct {
+	Rows []UnifiedRow
+}
+
+// RunUnified trains the unified Tao and evaluates random draws. The
+// testing distribution extends beyond the training ranges by 2x on
+// each side of the speed axis and down to 20 ms RTT, so some draws sit
+// outside the designer's model (as the paper's framing demands).
+func RunUnified(e Effort, log func(string, ...any)) *UnifiedResult {
+	tree := unifiedTaoSpec().Train(e, log)
+	protocols := []Protocol{
+		taoProtocol("Tao-unified", tree, remycc.AllSignals()),
+		cubicProtocol(),
+		cubicSfqCoDelProtocol(),
+	}
+
+	res := &UnifiedResult{}
+	draws := e.SweepPoints * 2
+	r := rng.New(e.Seed).Split("unified")
+	for d := 0; d < draws; d++ {
+		speed := units.Rate(r.LogUniform(1e6, 400e6))
+		minRTT := units.Duration(r.Uniform(20, 300)) * units.Millisecond
+		senders := r.IntRange(1, 30)
+		tmpl := scenario.Spec{
+			Topology:  scenario.Dumbbell,
+			LinkSpeed: speed,
+			MinRTT:    minRTT,
+			Buffering: scenario.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    units.Second,
+			MeanOff:   units.Second,
+			Duration:  e.TestDuration,
+		}
+		sys := omniscient.Dumbbell(speed, minRTT, senders, 0.5)
+		omniTpt := sys.ExpectedThroughput(0)
+		omniDelay := sys.Delay(0)
+		row := UnifiedRow{
+			SpeedMbps: float64(speed) / 1e6,
+			RTTMs:     minRTT.Milliseconds(),
+			Senders:   senders,
+		}
+		objs := make([]float64, len(protocols))
+		for pi, p := range protocols {
+			results := evalPoint(e, p, tmpl, senders, fmt.Sprintf("unified-%d", d))
+			objs[pi] = meanNormalizedObjective(results, omniTpt, omniDelay, 1)
+		}
+		row.TaoObj, row.CubicObj, row.SfqObj = objs[0], objs[1], objs[2]
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// WinRateVsCubic reports the fraction of draws where the unified Tao's
+// objective beats Cubic's.
+func (r *UnifiedResult) WinRateVsCubic() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	wins := 0
+	for _, row := range r.Rows {
+		if row.TaoObj > row.CubicObj {
+			wins++
+		}
+	}
+	return float64(wins) / float64(len(r.Rows))
+}
+
+// MeanObjectives reports the mean normalized objective per protocol.
+func (r *UnifiedResult) MeanObjectives() (tao, cubic, sfq float64) {
+	var a, b, c []float64
+	for _, row := range r.Rows {
+		a = append(a, row.TaoObj)
+		b = append(b, row.CubicObj)
+		c = append(c, row.SfqObj)
+	}
+	return stats.Mean(a), stats.Mean(b), stats.Mean(c)
+}
+
+// Table renders the dataset.
+func (r *UnifiedResult) Table() string {
+	header := []string{"speed (Mbps)", "RTT (ms)", "senders", "Tao-unified", "Cubic", "Cubic/sfqCoDel"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", row.SpeedMbps),
+			fmt.Sprintf("%.0f", row.RTTMs),
+			fmt.Sprintf("%d", row.Senders),
+			fmt.Sprintf("%+.3f", row.TaoObj),
+			fmt.Sprintf("%+.3f", row.CubicObj),
+			fmt.Sprintf("%+.3f", row.SfqObj),
+		})
+	}
+	tao, cubic, sfq := r.MeanObjectives()
+	summary := fmt.Sprintf("\nmeans: Tao-unified %+.3f  Cubic %+.3f  Cubic/sfqCoDel %+.3f   win rate vs Cubic: %.0f%%\n",
+		tao, cubic, sfq, 100*r.WinRateVsCubic())
+	return renderTable(header, rows) + summary
+}
+
+// WriteCSV dumps the dataset.
+func (r *UnifiedResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			f(row.SpeedMbps), f(row.RTTMs), fmt.Sprintf("%d", row.Senders),
+			f(row.TaoObj), f(row.CubicObj), f(row.SfqObj),
+		})
+	}
+	return writeCSV(w, []string{"speed_mbps", "rtt_ms", "senders",
+		"tao_unified_obj", "cubic_obj", "sfqcodel_obj"}, rows)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// Vegas squeeze-out demonstration. §4.5 motivates TCP-awareness with
+// the conventional wisdom that delay-based protocols like Vegas
+// "perform well when contending only against other flows of their own
+// kind, but are squeezed out by the more-aggressive cross-traffic
+// produced by traditional TCP". This auxiliary experiment reproduces
+// that claim directly with our Vegas implementation on the same
+// network as the TCP-awareness experiment, grounding the paper's
+// premise before the Tao version of the question is asked.
+
+// VegasRow is one sender's outcome in one setting.
+type VegasRow struct {
+	Setting  string // "homogeneous" or "vs-NewReno"
+	Protocol string
+	TptMbps  float64
+	QueueMs  float64
+}
+
+// VegasResult is the squeeze-out dataset.
+type VegasResult struct {
+	Rows []VegasRow
+}
+
+// RunVegasSqueeze evaluates Vegas against itself and against NewReno
+// on a 10 Mbps, 100 ms, 2 BDP dumbbell with near-continuous load.
+func RunVegasSqueeze(e Effort, log func(string, ...any)) *VegasResult {
+	res := &VegasResult{}
+	settings := []struct {
+		label string
+		mk    [2]Protocol
+		names [2]string
+	}{
+		{"homogeneous", [2]Protocol{vegasProtocol(), vegasProtocol()}, [2]string{"Vegas", "Vegas"}},
+		{"vs-NewReno", [2]Protocol{vegasProtocol(), newRenoProtocol()}, [2]string{"Vegas", "NewReno"}},
+	}
+	for si, st := range settings {
+		type acc struct{ tpt, qd []float64 }
+		accs := map[string]*acc{}
+		for rep := 0; rep < e.TestReplicas; rep++ {
+			spec := scenario.Spec{
+				Topology:  scenario.Dumbbell,
+				LinkSpeed: 10 * units.Mbps,
+				MinRTT:    100 * units.Millisecond,
+				Buffering: scenario.FiniteDropTail,
+				BufferBDP: 2,
+				MeanOn:    5 * units.Second,
+				MeanOff:   10 * units.Millisecond,
+				Duration:  e.TestDuration,
+				Seed: rng.New(e.Seed).Split("test").Split("vegas").
+					SplitN("setting", si).SplitN("replica", rep),
+				Senders: []scenario.Sender{
+					{Alg: st.mk[0].New(), Delta: 1},
+					{Alg: st.mk[1].New(), Delta: 1},
+				},
+			}
+			for fi, r := range scenario.Run(spec) {
+				if r.OnTime == 0 {
+					continue
+				}
+				name := st.names[fi]
+				a := accs[name]
+				if a == nil {
+					a = &acc{}
+					accs[name] = a
+				}
+				a.tpt = append(a.tpt, float64(r.Throughput)/1e6)
+				a.qd = append(a.qd, r.QueueDelay.Seconds()*1e3)
+			}
+		}
+		for _, name := range []string{"Vegas", "NewReno"} {
+			a := accs[name]
+			if a == nil {
+				continue
+			}
+			res.Rows = append(res.Rows, VegasRow{
+				Setting:  st.label,
+				Protocol: name,
+				TptMbps:  mean(a.tpt),
+				QueueMs:  mean(a.qd),
+			})
+		}
+	}
+	return res
+}
+
+// Row returns the row for (setting, protocol), or nil.
+func (r *VegasResult) Row(setting, protocol string) *VegasRow {
+	for i := range r.Rows {
+		if r.Rows[i].Setting == setting && r.Rows[i].Protocol == protocol {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the dataset.
+func (r *VegasResult) Table() string {
+	header := []string{"setting", "protocol", "tpt (Mbps)", "queue delay (ms)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Setting, row.Protocol,
+			fmt.Sprintf("%.2f", row.TptMbps), fmt.Sprintf("%.1f", row.QueueMs)})
+	}
+	return renderTable(header, rows)
+}
+
+// WriteCSV dumps the dataset.
+func (r *VegasResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Setting, row.Protocol,
+			f(row.TptMbps), f(row.QueueMs)})
+	}
+	return writeCSV(w, []string{"setting", "protocol", "tpt_mbps", "queue_delay_ms"}, rows)
+}

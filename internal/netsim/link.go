@@ -1,0 +1,93 @@
+// Package netsim implements the packet-level network simulation on top
+// of the sim scheduler: links with serialization and propagation delay,
+// a reliable window-based transport with pacing (the substrate the
+// paper's ns-2 experiments rely on), receivers that generate per-packet
+// cumulative ACKs, and the per-flow bookkeeping the paper's metrics are
+// computed from.
+package netsim
+
+import (
+	"learnability/internal/packet"
+	"learnability/internal/queue"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// Deliverer consumes packets at the downstream end of a hop. Links are
+// Deliverers (packets entering their queue), as are Receivers.
+type Deliverer interface {
+	Deliver(now units.Time, p *packet.Packet)
+}
+
+// Route decides the next hop for packets of a given flow leaving a link.
+type Route func(flow int) Deliverer
+
+// Link is a unidirectional link: a queueing discipline feeding a
+// serializer of fixed rate, followed by a fixed propagation delay.
+// Packets leaving the link are handed to the Deliverer chosen by the
+// link's Route.
+type Link struct {
+	sched *sim.Scheduler
+	rate  units.Rate
+	prop  units.Duration
+	q     queue.Discipline
+	route Route
+	busy  bool
+}
+
+// NewLink creates a link. The route must be set with SetRoute before
+// any packet exits the link.
+func NewLink(sched *sim.Scheduler, rate units.Rate, prop units.Duration, q queue.Discipline) *Link {
+	if rate <= 0 {
+		panic("netsim: link with non-positive rate")
+	}
+	if prop < 0 {
+		panic("netsim: link with negative propagation delay")
+	}
+	if q == nil {
+		panic("netsim: link with nil queue")
+	}
+	return &Link{sched: sched, rate: rate, prop: prop, q: q}
+}
+
+// SetRoute installs the per-flow next-hop function.
+func (l *Link) SetRoute(r Route) { l.route = r }
+
+// Queue exposes the link's queueing discipline (for sampling occupancy
+// and reading drop statistics).
+func (l *Link) Queue() queue.Discipline { return l.q }
+
+// Rate reports the link's rate.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// Prop reports the link's one-way propagation delay.
+func (l *Link) Prop() units.Duration { return l.prop }
+
+// Deliver implements Deliverer: a packet arrives at the link's ingress
+// queue.
+func (l *Link) Deliver(now units.Time, p *packet.Packet) {
+	l.q.Enqueue(now, p)
+	l.kick(now)
+}
+
+// kick starts serializing the next queued packet if the link is idle.
+func (l *Link) kick(now units.Time) {
+	if l.busy {
+		return
+	}
+	p := l.q.Dequeue(now)
+	if p == nil {
+		return
+	}
+	l.busy = true
+	tx := l.rate.TransmissionTime(p.Size)
+	l.sched.After(tx, func() {
+		l.busy = false
+		// Propagation happens in parallel with the next serialization.
+		l.sched.After(l.prop, func() {
+			next := l.route(p.Flow)
+			next.Deliver(l.sched.Now(), p)
+		})
+		l.kick(l.sched.Now())
+	})
+}

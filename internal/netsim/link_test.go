@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"testing"
+
+	"learnability/internal/packet"
+	"learnability/internal/queue"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// captureSink records arrival times at the end of a link.
+type captureSink struct {
+	arrivals []units.Time
+	pkts     []*packet.Packet
+	sched    *sim.Scheduler
+}
+
+func (c *captureSink) Deliver(now units.Time, p *packet.Packet) {
+	c.arrivals = append(c.arrivals, now)
+	c.pkts = append(c.pkts, p)
+}
+
+func TestLinkSerializationPlusPropagation(t *testing.T) {
+	sched := sim.New()
+	sink := &captureSink{sched: sched}
+	// 12 Mbps: one 1500-byte packet serializes in exactly 1 ms.
+	l := NewLink(sched, 12*units.Mbps, 50*units.Millisecond, queue.NewInfinite())
+	l.SetRoute(func(int) Deliverer { return sink })
+	sched.At(0, func() { l.Deliver(0, packet.DataPacket(0, 0, 0)) })
+	sched.Run(units.MaxTime)
+	if len(sink.arrivals) != 1 {
+		t.Fatalf("arrivals = %d", len(sink.arrivals))
+	}
+	want := units.Time(51 * units.Millisecond) // 1 ms tx + 50 ms prop
+	if sink.arrivals[0] != want {
+		t.Fatalf("arrival at %v, want %v", sink.arrivals[0], want)
+	}
+}
+
+func TestLinkPipelinesSerializationWithPropagation(t *testing.T) {
+	// Two back-to-back packets: the second starts serializing as soon
+	// as the first finishes, not after the first's propagation.
+	sched := sim.New()
+	sink := &captureSink{sched: sched}
+	l := NewLink(sched, 12*units.Mbps, 50*units.Millisecond, queue.NewInfinite())
+	l.SetRoute(func(int) Deliverer { return sink })
+	sched.At(0, func() {
+		l.Deliver(0, packet.DataPacket(0, 0, 0))
+		l.Deliver(0, packet.DataPacket(0, 1, 0))
+	})
+	sched.Run(units.MaxTime)
+	if len(sink.arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(sink.arrivals))
+	}
+	if got := sink.arrivals[1]; got != units.Time(52*units.Millisecond) {
+		t.Fatalf("second arrival at %v, want 52ms (pipelined)", got)
+	}
+	// Spacing on the wire equals the serialization time.
+	if gap := sink.arrivals[1].Sub(sink.arrivals[0]); gap != units.Millisecond {
+		t.Fatalf("inter-arrival gap = %v, want 1ms", gap)
+	}
+}
+
+func TestLinkPreservesOrderWithinFlow(t *testing.T) {
+	sched := sim.New()
+	sink := &captureSink{sched: sched}
+	l := NewLink(sched, units.Mbps, units.Millisecond, queue.NewInfinite())
+	l.SetRoute(func(int) Deliverer { return sink })
+	sched.At(0, func() {
+		for i := int64(0); i < 20; i++ {
+			l.Deliver(0, packet.DataPacket(0, i, 0))
+		}
+	})
+	sched.Run(units.MaxTime)
+	for i, p := range sink.pkts {
+		if p.Seq != int64(i) {
+			t.Fatalf("packet %d has seq %d; link reordered", i, p.Seq)
+		}
+	}
+}
+
+func TestLinkRoutesPerFlow(t *testing.T) {
+	sched := sim.New()
+	a := &captureSink{sched: sched}
+	b := &captureSink{sched: sched}
+	l := NewLink(sched, 10*units.Mbps, 0, queue.NewInfinite())
+	l.SetRoute(func(flow int) Deliverer {
+		if flow == 1 {
+			return a
+		}
+		return b
+	})
+	sched.At(0, func() {
+		l.Deliver(0, packet.DataPacket(1, 0, 0))
+		l.Deliver(0, packet.DataPacket(2, 0, 0))
+	})
+	sched.Run(units.MaxTime)
+	if len(a.pkts) != 1 || a.pkts[0].Flow != 1 {
+		t.Fatalf("sink a got %v", a.pkts)
+	}
+	if len(b.pkts) != 1 || b.pkts[0].Flow != 2 {
+		t.Fatalf("sink b got %v", b.pkts)
+	}
+}
+
+func TestLinkIdleRestarts(t *testing.T) {
+	// A packet long after the first must still be transmitted (the
+	// link must wake from idle).
+	sched := sim.New()
+	sink := &captureSink{sched: sched}
+	l := NewLink(sched, 12*units.Mbps, 0, queue.NewInfinite())
+	l.SetRoute(func(int) Deliverer { return sink })
+	sched.At(0, func() { l.Deliver(0, packet.DataPacket(0, 0, 0)) })
+	sched.At(units.Time(units.Second), func() { l.Deliver(sched.Now(), packet.DataPacket(0, 1, 0)) })
+	sched.Run(units.MaxTime)
+	if len(sink.arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(sink.arrivals))
+	}
+	if sink.arrivals[1] != units.Time(units.Second+units.Millisecond) {
+		t.Fatalf("second arrival at %v", sink.arrivals[1])
+	}
+}
+
+func TestLinkAccessors(t *testing.T) {
+	sched := sim.New()
+	q := queue.NewInfinite()
+	l := NewLink(sched, 7*units.Mbps, 9*units.Millisecond, q)
+	if l.Rate() != 7*units.Mbps || l.Prop() != 9*units.Millisecond || l.Queue() != queue.Discipline(q) {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestReceiverOutOfOrderDelivery(t *testing.T) {
+	sched := sim.New()
+	st := &FlowStats{Flow: 0}
+	rcv := NewReceiver(sched, 0, 10*units.Millisecond, st)
+	var acks []*packet.Packet
+	snd := &Sender{} // not used; we intercept via a stub sender below
+	_ = snd
+	// Use a real sender purely as an ACK sink is awkward; instead point
+	// the receiver at a sender whose OnAck we observe through a capture
+	// egress and a zero-window algorithm (it will never send).
+	out := &captureEgress{}
+	sink := NewSender(sched, 0, &fixedCC{w: 0}, out, &FlowStats{})
+	rcv.SetSender(sink)
+
+	deliver := func(seq int64, at units.Duration) {
+		sched.At(units.Time(at), func() {
+			rcv.Deliver(sched.Now(), packet.DataPacket(0, seq, 0))
+		})
+	}
+	// Arrivals: 0, 2, 3 (hole at 1), then 1 fills the hole.
+	deliver(0, 1*units.Millisecond)
+	deliver(2, 2*units.Millisecond)
+	deliver(3, 3*units.Millisecond)
+	sched.Run(units.Time(5 * units.Millisecond))
+	if rcv.Cum() != 0 {
+		t.Fatalf("cum = %d with hole at 1", rcv.Cum())
+	}
+	deliver(1, 6*units.Millisecond)
+	sched.Run(units.Time(20 * units.Millisecond))
+	if rcv.Cum() != 3 {
+		t.Fatalf("cum = %d after hole filled, want 3", rcv.Cum())
+	}
+	if st.DeliveredBytes != 4*packet.MTU {
+		t.Fatalf("DeliveredBytes = %d, want %d", st.DeliveredBytes, 4*packet.MTU)
+	}
+	if st.Arrivals != 4 {
+		t.Fatalf("Arrivals = %d", st.Arrivals)
+	}
+	_ = acks
+}
+
+func TestReceiverDuplicateDoesNotDoubleCount(t *testing.T) {
+	sched := sim.New()
+	st := &FlowStats{Flow: 0}
+	rcv := NewReceiver(sched, 0, 0, st)
+	out := &captureEgress{}
+	rcv.SetSender(NewSender(sched, 0, &fixedCC{w: 0}, out, &FlowStats{}))
+	rcv.Deliver(0, packet.DataPacket(0, 0, 0))
+	rcv.Deliver(0, packet.DataPacket(0, 0, 0)) // duplicate
+	sched.Run(units.MaxTime)
+	if st.DeliveredBytes != packet.MTU {
+		t.Fatalf("DeliveredBytes = %d; duplicate counted", st.DeliveredBytes)
+	}
+	if st.Arrivals != 2 {
+		t.Fatalf("Arrivals = %d; duplicates still arrive", st.Arrivals)
+	}
+	if rcv.Cum() != 0 {
+		t.Fatalf("cum = %d", rcv.Cum())
+	}
+}
+
+func TestReceiverPanicsOnACK(t *testing.T) {
+	sched := sim.New()
+	rcv := NewReceiver(sched, 0, 0, &FlowStats{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rcv.Deliver(0, &packet.Packet{Flow: 0, IsACK: true})
+}

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"learnability/internal/sim"
+	"learnability/internal/units"
+	"learnability/internal/workload"
+)
+
+// Flow bundles the endpoints and bookkeeping of one sender-receiver
+// pair.
+type Flow struct {
+	Sender   *Sender
+	Receiver *Receiver
+	Stats    *FlowStats
+	Workload workload.Source
+}
+
+// Network is an assembled simulation: a scheduler, links, and flows.
+// Topology builders (package topo) construct Networks; Run executes
+// them.
+type Network struct {
+	Sched *sim.Scheduler
+	Links []*Link
+	Flows []*Flow
+}
+
+// New returns an empty network on a fresh scheduler.
+func New() *Network {
+	return &Network{Sched: sim.New()}
+}
+
+// AddFlow registers a flow.
+func (n *Network) AddFlow(f *Flow) { n.Flows = append(n.Flows, f) }
+
+// AddLink registers a link.
+func (n *Network) AddLink(l *Link) { n.Links = append(n.Links, l) }
+
+// Sample schedules fn to run every interval from time 0 until the end
+// of the run (used to record queue-occupancy time series).
+func (n *Network) Sample(interval units.Duration, fn func(now units.Time)) {
+	if interval <= 0 {
+		panic("netsim: non-positive sample interval")
+	}
+	var tick func()
+	tick = func() {
+		fn(n.Sched.Now())
+		n.Sched.After(interval, tick)
+	}
+	n.Sched.At(0, tick)
+}
+
+// Run starts every flow's workload, executes the simulation for the
+// given duration, and finalizes per-flow statistics. It returns the
+// flows' stats in flow order.
+func (n *Network) Run(duration units.Duration) []*FlowStats {
+	for _, f := range n.Flows {
+		f := f
+		f.Workload.Start(n.Sched, func(on bool) {
+			f.Sender.SetOn(n.Sched.Now(), on)
+		})
+	}
+	end := units.Time(0).Add(duration)
+	n.Sched.Run(end)
+	out := make([]*FlowStats, len(n.Flows))
+	for i, f := range n.Flows {
+		f.Stats.Finalize(end)
+		out[i] = f.Stats
+	}
+	return out
+}

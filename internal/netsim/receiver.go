@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"learnability/internal/packet"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// Receiver terminates a flow: it records delivery statistics and
+// returns one cumulative ACK per arriving data packet. ACKs travel back
+// over a delay-only reverse path (the paper's dumbbell and parking-lot
+// reverse paths are uncongested; see DESIGN.md substitution #5).
+type Receiver struct {
+	sched    *sim.Scheduler
+	flow     int
+	sender   *Sender
+	ackDelay units.Duration
+	stats    *FlowStats
+
+	cum int64 // highest in-order sequence received; -1 initially
+	ooo map[int64]bool
+}
+
+// NewReceiver creates a receiver for the given flow whose ACKs reach
+// sender after ackDelay.
+func NewReceiver(sched *sim.Scheduler, flow int, ackDelay units.Duration, stats *FlowStats) *Receiver {
+	return &Receiver{
+		sched:    sched,
+		flow:     flow,
+		ackDelay: ackDelay,
+		stats:    stats,
+		cum:      -1,
+		ooo:      make(map[int64]bool),
+	}
+}
+
+// SetSender wires the reverse path. It must be called before traffic
+// flows (topology builders do this).
+func (r *Receiver) SetSender(s *Sender) { r.sender = s }
+
+// Cum reports the highest in-order sequence number received so far
+// (-1 before any).
+func (r *Receiver) Cum() int64 { return r.cum }
+
+// Deliver implements Deliverer for arriving data packets.
+func (r *Receiver) Deliver(now units.Time, p *packet.Packet) {
+	if p.IsACK {
+		panic("netsim: receiver got an ACK")
+	}
+	if p.Flow != r.flow {
+		panic("netsim: packet misrouted to wrong receiver")
+	}
+	r.stats.Arrivals++
+	r.stats.DelaySum += now.Sub(p.SentAt)
+
+	switch {
+	case p.Seq == r.cum+1:
+		r.cum++
+		r.stats.DeliveredBytes += int64(p.Size)
+		for r.ooo[r.cum+1] {
+			delete(r.ooo, r.cum+1)
+			r.cum++
+			r.stats.DeliveredBytes += int64(packet.MTU)
+		}
+	case p.Seq > r.cum:
+		r.ooo[p.Seq] = true
+	default:
+		// Duplicate of already-delivered data; ACK it anyway (the
+		// cumulative ack re-synchronizes the sender).
+	}
+
+	ack := packet.ACK(p, r.cum, now)
+	r.sched.After(r.ackDelay, func() {
+		r.sender.OnAck(r.sched.Now(), ack)
+	})
+}

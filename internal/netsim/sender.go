@@ -1,0 +1,371 @@
+package netsim
+
+import (
+	"math"
+
+	"learnability/internal/cc"
+	"learnability/internal/packet"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// RTO bounds per RFC 6298 (the 1-second floor is also ns-2's default,
+// the simulator behind the paper's testing scenarios; it prevents
+// spurious timeouts when FIFO service makes per-flow ACK arrivals
+// bursty).
+const (
+	minRTO = units.Second
+	maxRTO = 60 * units.Second
+)
+
+// lossReorderThreshold is the classic three-duplicate-ACK rule
+// expressed over the SACK scoreboard: a packet is deemed lost once
+// three later packets have been acknowledged (RFC 6675 DupThresh).
+const lossReorderThreshold = 3
+
+// Sender is the transport endpoint of a flow: it owns reliability and
+// enforces the congestion window and pacing interval chosen by its
+// congestion-control algorithm. Loss recovery is SACK-based (RFC
+// 6675-style scoreboard with pipe accounting), matching the Linux
+// stacks behind the paper's Cubic baseline: every ACK identifies the
+// specific packet that triggered it, the sender marks holes lost after
+// three later deliveries, and retransmits them as the window allows.
+// While "on" the sender has infinite backlog (the paper's senders are
+// bulk transfers gated by the on/off workload process).
+type Sender struct {
+	sched  *sim.Scheduler
+	flow   int
+	alg    cc.Algorithm
+	egress Deliverer
+	stats  *FlowStats
+
+	on bool
+
+	// Transport state.
+	nextSeq int64 // next new sequence number to send
+	sndUna  int64 // lowest unacknowledged sequence number
+
+	// Scoreboard (RFC 6675-style). All entries lie in [sndUna,
+	// nextSeq).
+	sacked        map[int64]bool // delivered above the cumulative point
+	lostSet       map[int64]bool // declared lost
+	retx          map[int64]bool // retransmitted since declared lost
+	lostQueue     []int64        // lost seqs pending retransmission, ascending
+	highestSacked int64          // highest individually acked seq; -1 none
+	lossScan      int64          // all seqs below this have been classified
+	// excluded counts scoreboard entries not in the pipe: sacked, or
+	// lost and not yet retransmitted. pipe = outstanding - excluded.
+	excluded int64
+
+	// Recovery episode state.
+	inRecovery bool
+	recover    int64 // highest seq outstanding when the episode began
+
+	// RTT estimation (RFC 6298).
+	srtt, rttvar units.Duration
+	hasRTT       bool
+	minRTT       units.Duration
+	rtoBackoff   int
+
+	rtoTimer  *sim.Timer
+	paceTimer *sim.Timer
+
+	// nextSendTime is the earliest time the next packet may leave,
+	// according to the algorithm's pacing interval.
+	nextSendTime units.Time
+}
+
+// NewSender creates a sender for the given flow using alg for
+// congestion control, sending into egress.
+func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Deliverer, stats *FlowStats) *Sender {
+	if alg == nil {
+		panic("netsim: sender with nil congestion-control algorithm")
+	}
+	if egress == nil {
+		panic("netsim: sender with nil egress")
+	}
+	return &Sender{
+		sched:         sched,
+		flow:          flow,
+		alg:           alg,
+		egress:        egress,
+		stats:         stats,
+		sacked:        make(map[int64]bool),
+		lostSet:       make(map[int64]bool),
+		retx:          make(map[int64]bool),
+		highestSacked: -1,
+		minRTT:        units.Duration(math.MaxInt64),
+	}
+}
+
+// Flow returns the sender's flow ID.
+func (s *Sender) Flow() int { return s.flow }
+
+// Algorithm returns the congestion-control algorithm (tests inspect it).
+func (s *Sender) Algorithm() cc.Algorithm { return s.alg }
+
+// On reports whether the sender currently has offered load.
+func (s *Sender) On() bool { return s.on }
+
+// Outstanding reports the number of packets between the cumulative ack
+// point and the highest sequence sent.
+func (s *Sender) Outstanding() int64 { return s.nextSeq - s.sndUna }
+
+// pipe estimates the number of packets currently in the network.
+func (s *Sender) pipe() int64 { return s.Outstanding() - s.excluded }
+
+// SetOn switches offered load on or off. Turning on starts a fresh
+// connection for congestion-control purposes: the algorithm is Reset,
+// matching the paper's model where each "on" period is a new transfer.
+// Turning off stops new data, but reliability keeps running until
+// outstanding data is acknowledged.
+func (s *Sender) SetOn(now units.Time, on bool) {
+	if on == s.on {
+		return
+	}
+	s.on = on
+	s.stats.setOn(now, on)
+	if on {
+		s.alg.Reset(now)
+		s.rtoBackoff = 0
+		s.nextSendTime = now
+		s.trySend(now)
+	}
+}
+
+// window returns the clamped congestion window in whole packets.
+func (s *Sender) window() int64 {
+	return int64(math.Floor(cc.ClampWindow(s.alg.Window())))
+}
+
+// OnAck processes an arriving ACK (every received packet triggers
+// one).
+func (s *Sender) OnAck(now units.Time, a *packet.Packet) {
+	if !a.IsACK || a.Flow != s.flow {
+		panic("netsim: sender got a non-ACK or misrouted packet")
+	}
+
+	// Selective information: the packet that triggered this ACK.
+	// Sequences never sent are ignored (see the cumulative clamp
+	// below).
+	if seq := a.AckedSeq; seq >= s.sndUna && seq < s.nextSeq && !s.sacked[seq] {
+		wasExcluded := s.lostSet[seq] && !s.retx[seq]
+		s.sacked[seq] = true
+		if !wasExcluded {
+			s.excluded++
+		}
+		if seq > s.highestSacked {
+			s.highestSacked = seq
+		}
+	}
+
+	// Cumulative advance. An ACK beyond the highest sequence actually
+	// sent indicates corruption or misuse; clamp rather than let the
+	// pipe accounting go negative.
+	if newUna := a.AckSeq + 1; newUna > s.sndUna && newUna <= s.nextSeq {
+		newly := int(newUna - s.sndUna)
+		for seq := s.sndUna; seq < newUna; seq++ {
+			if s.sacked[seq] || (s.lostSet[seq] && !s.retx[seq]) {
+				s.excluded--
+			}
+			delete(s.sacked, seq)
+			delete(s.lostSet, seq)
+			delete(s.retx, seq)
+		}
+		s.sndUna = newUna
+		if s.lossScan < s.sndUna {
+			s.lossScan = s.sndUna
+		}
+		if s.inRecovery && s.sndUna > s.recover {
+			s.inRecovery = false
+		}
+
+		rtt := now.Sub(a.EchoSentAt)
+		s.observeRTT(rtt)
+		s.rtoBackoff = 0
+		s.alg.OnACK(now, cc.Feedback{
+			RTT:        rtt,
+			MinRTT:     s.minRTT,
+			SentAt:     a.EchoSentAt,
+			ReceivedAt: a.ReceivedAt,
+			NewlyAcked: newly,
+		})
+		s.resetRTO(now)
+	}
+
+	s.classifyLosses(now)
+	s.trySend(now)
+}
+
+// classifyLosses marks packets lost once lossReorderThreshold later
+// packets have been delivered, and opens a recovery episode (one
+// congestion response per window) when a new hole appears.
+func (s *Sender) classifyLosses(now units.Time) {
+	limit := s.highestSacked - lossReorderThreshold
+	newLoss := false
+	for ; s.lossScan <= limit; s.lossScan++ {
+		seq := s.lossScan
+		if s.sacked[seq] || s.lostSet[seq] {
+			continue
+		}
+		s.lostSet[seq] = true
+		if s.retx[seq] {
+			// Already retransmitted (by an RTO); leave it to the timer.
+			continue
+		}
+		s.excluded++
+		s.lostQueue = append(s.lostQueue, seq)
+		newLoss = true
+	}
+	if newLoss && !s.inRecovery {
+		s.inRecovery = true
+		s.recover = s.nextSeq - 1
+		s.alg.OnLoss(now)
+	}
+}
+
+func (s *Sender) observeRTT(rtt units.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	if !s.hasRTT {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.hasRTT = true
+		return
+	}
+	// RFC 6298 with alpha=1/8, beta=1/4.
+	diff := s.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar += (diff - s.rttvar) / 4
+	s.srtt += (rtt - s.srtt) / 8
+}
+
+// rto computes the current retransmission timeout, including
+// exponential backoff (which also applies to the initial 1 s timeout,
+// before any RTT sample exists).
+func (s *Sender) rto() units.Duration {
+	r := units.Second
+	if s.hasRTT {
+		r = s.srtt + 4*s.rttvar
+		if r < minRTO {
+			r = minRTO
+		}
+	}
+	for i := 0; i < s.rtoBackoff; i++ {
+		r *= 2
+		if r >= maxRTO {
+			return maxRTO
+		}
+	}
+	return r
+}
+
+func (s *Sender) resetRTO(now units.Time) {
+	s.rtoTimer.Stop()
+	if s.Outstanding() <= 0 {
+		return
+	}
+	s.rtoTimer = s.sched.After(s.rto(), func() { s.onTimeout(s.sched.Now()) })
+}
+
+// onTimeout handles RTO expiry: collapse the window, treat everything
+// outstanding as lost (go-back-N; the scoreboard is rebuilt from
+// subsequent ACKs), and retransmit the first hole.
+func (s *Sender) onTimeout(now units.Time) {
+	if s.Outstanding() <= 0 {
+		return
+	}
+	s.stats.Timeouts++
+	s.rtoBackoff++
+	s.inRecovery = false
+	s.alg.OnTimeout(now)
+
+	clear(s.sacked)
+	clear(s.lostSet)
+	clear(s.retx)
+	s.lostQueue = s.lostQueue[:0]
+	s.highestSacked = -1
+	s.lossScan = s.nextSeq
+	// Everything beyond sndUna is presumed lost until re-acknowledged.
+	for seq := s.sndUna + 1; seq < s.nextSeq; seq++ {
+		s.lostSet[seq] = true
+		s.lostQueue = append(s.lostQueue, seq)
+	}
+	s.excluded = s.Outstanding() - 1 // all but the head, resent below
+
+	s.sendPacket(now, s.sndUna, true)
+	s.resetRTO(now)
+	s.trySend(now)
+}
+
+// sendPacket emits one packet (new or retransmission).
+func (s *Sender) sendPacket(now units.Time, seq int64, isRetx bool) {
+	p := packet.DataPacket(s.flow, seq, now)
+	p.Retransmit = isRetx
+	s.stats.SentPackets++
+	if isRetx {
+		s.stats.Retransmits++
+	}
+	s.egress.Deliver(now, p)
+	if pace := s.alg.PacingInterval(); pace > 0 {
+		s.nextSendTime = now.Add(pace)
+	}
+}
+
+// trySend transmits retransmissions and new packets while the pipe,
+// window, and pacing allow.
+func (s *Sender) trySend(now units.Time) {
+	for {
+		// Drop stale entries from the head of the loss queue.
+		for len(s.lostQueue) > 0 {
+			seq := s.lostQueue[0]
+			if seq < s.sndUna || s.sacked[seq] || s.retx[seq] || !s.lostSet[seq] {
+				s.lostQueue = s.lostQueue[1:]
+				continue
+			}
+			break
+		}
+		wantRetx := len(s.lostQueue) > 0
+		wantNew := s.on
+		if !wantRetx && !wantNew {
+			return
+		}
+		if s.pipe() >= s.window() {
+			return
+		}
+		if now < s.nextSendTime {
+			s.schedulePace(now)
+			return
+		}
+		if wantRetx {
+			seq := s.lostQueue[0]
+			s.lostQueue = s.lostQueue[1:]
+			s.retx[seq] = true
+			s.excluded-- // back in the pipe
+			s.sendPacket(now, seq, true)
+		} else {
+			hadOutstanding := s.Outstanding() > 0
+			s.sendPacket(now, s.nextSeq, false)
+			s.nextSeq++
+			if !hadOutstanding {
+				s.resetRTO(now)
+			}
+		}
+	}
+}
+
+func (s *Sender) schedulePace(now units.Time) {
+	if s.paceTimer.Pending() && s.paceTimer.When() <= s.nextSendTime {
+		return
+	}
+	s.paceTimer.Stop()
+	s.paceTimer = s.sched.At(s.nextSendTime, func() {
+		s.trySend(s.sched.Now())
+	})
+}

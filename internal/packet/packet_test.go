@@ -1,0 +1,41 @@
+package packet
+
+import (
+	"testing"
+
+	"learnability/internal/units"
+)
+
+func TestDataPacket(t *testing.T) {
+	p := DataPacket(3, 17, units.Time(5*units.Millisecond))
+	if p.Flow != 3 || p.Seq != 17 || p.Size != MTU || p.IsACK {
+		t.Fatalf("DataPacket = %+v", p)
+	}
+	if p.SentAt != units.Time(5*units.Millisecond) {
+		t.Fatalf("SentAt = %v", p.SentAt)
+	}
+}
+
+func TestACK(t *testing.T) {
+	now := units.Time(42 * units.Millisecond)
+	p := DataPacket(1, 9, units.Time(units.Millisecond))
+	a := ACK(p, 7, now)
+	if !a.IsACK {
+		t.Fatal("ACK not marked IsACK")
+	}
+	if a.Flow != 1 {
+		t.Fatalf("ACK flow = %d", a.Flow)
+	}
+	if a.AckSeq != 7 || a.AckedSeq != 9 {
+		t.Fatalf("AckSeq=%d AckedSeq=%d", a.AckSeq, a.AckedSeq)
+	}
+	if a.EchoSentAt != p.SentAt {
+		t.Fatalf("EchoSentAt = %v", a.EchoSentAt)
+	}
+	if a.ReceivedAt != now {
+		t.Fatalf("ReceivedAt = %v", a.ReceivedAt)
+	}
+	if a.Size != ACKSize {
+		t.Fatalf("ACK size = %d", a.Size)
+	}
+}

@@ -1,0 +1,199 @@
+// Package plot renders small ASCII charts so cmd/learnability can show
+// the *shape* of each figure directly in the terminal, next to the
+// numeric tables (the paper's figures are line charts and scatter
+// plots; CSV export covers high-fidelity replotting).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// glyphs mark successive series' points.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+// Options configure a chart.
+type Options struct {
+	// Width and Height are the plot area size in characters
+	// (defaults 64x16).
+	Width, Height int
+	// LogX plots the x axis logarithmically.
+	LogX bool
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	if o.Width < 8 {
+		o.Width = 8
+	}
+	if o.Height < 4 {
+		o.Height = 4
+	}
+	return o
+}
+
+// Chart renders the series into a text chart with axes, scales, and a
+// legend. Non-finite points are skipped. An empty chart (no finite
+// points) renders a note instead of panicking.
+func Chart(title string, series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if opts.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	finite := 0
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			finite++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if finite == 0 {
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	// Draw series in order; later series overwrite on collisions (the
+	// legend notes the glyph order).
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		var prevC, prevR int
+		havePrev := false
+		for i := range s.X {
+			x, y := tx(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				havePrev = false
+				continue
+			}
+			c := int(math.Round((x - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+			r := opts.Height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(opts.Height-1)))
+			if havePrev {
+				drawLine(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = g
+			prevC, prevR, havePrev = c, r, true
+		}
+	}
+
+	yLab0 := fmt.Sprintf("%.3g", ymax)
+	yLab1 := fmt.Sprintf("%.3g", ymin)
+	labW := len(yLab0)
+	if len(yLab1) > labW {
+		labW = len(yLab1)
+	}
+	for r := 0; r < opts.Height; r++ {
+		lab := strings.Repeat(" ", labW)
+		switch r {
+		case 0:
+			lab = fmt.Sprintf("%*s", labW, yLab0)
+		case opts.Height - 1:
+			lab = fmt.Sprintf("%*s", labW, yLab1)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", lab, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labW), strings.Repeat("-", opts.Width))
+	lo, hi := xmin, xmax
+	if opts.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	xAxis := fmt.Sprintf("%.3g%s%.3g", lo, strings.Repeat(" ", maxInt(1, opts.Width-12)), hi)
+	fmt.Fprintf(&b, "%s  %s", strings.Repeat(" ", labW), xAxis)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "  [%s]", opts.XLabel)
+	}
+	b.WriteString("\n")
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s\n", opts.YLabel)
+	}
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// drawLine draws a sparse Bresenham segment with the given filler,
+// leaving endpoints to the caller and never overwriting series glyphs.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, fill byte) {
+	dc := absInt(c1 - c0)
+	dr := -absInt(r1 - r0)
+	sc := 1
+	if c0 > c1 {
+		sc = -1
+	}
+	sr := 1
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	c, r := c0, r0
+	for {
+		if c == c1 && r == r1 {
+			break
+		}
+		if (c != c0 || r != r0) && grid[r][c] == ' ' {
+			grid[r][c] = fill
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r += sr
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

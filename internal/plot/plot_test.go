@@ -1,0 +1,143 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	s := []Series{{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}}
+	out := Chart("test", s, Options{Width: 20, Height: 8})
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + 8 rows + axis + xlabels + legend.
+	if len(lines) < 11 {
+		t.Fatalf("too few lines (%d):\n%s", len(lines), out)
+	}
+	// The increasing series' first point is bottom-left, last top-right.
+	if !strings.Contains(out, "*") {
+		t.Fatal("no glyphs plotted")
+	}
+}
+
+func TestChartMonotoneOrientation(t *testing.T) {
+	s := []Series{{Name: "up", X: []float64{0, 1}, Y: []float64{0, 10}}}
+	out := Chart("", s, Options{Width: 10, Height: 5})
+	rows := strings.Split(out, "\n")
+	var first, last int // rows containing a glyph
+	first = -1
+	for i, row := range rows {
+		if strings.Contains(row, "*") {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		t.Fatalf("no points:\n%s", out)
+	}
+	// Higher y must appear on an earlier (upper) row.
+	if first == last {
+		t.Fatalf("both endpoints on one row:\n%s", out)
+	}
+}
+
+func TestChartMultipleSeriesGlyphs(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{5, 5}},
+	}
+	out := Chart("", s, Options{Width: 12, Height: 6})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two glyph kinds:\n%s", out)
+	}
+}
+
+func TestChartLogX(t *testing.T) {
+	s := []Series{{Name: "flat", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 1, 1, 1}}}
+	out := Chart("", s, Options{Width: 31, Height: 5, LogX: true})
+	// Log-spaced points land evenly: columns 0, 10, 20, 30.
+	row := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "*") {
+			row = l
+			break
+		}
+	}
+	if row == "" {
+		t.Fatalf("no points:\n%s", out)
+	}
+	idx := []int{}
+	for i := 0; i < len(row); i++ {
+		if row[i] == '*' {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) != 4 {
+		t.Fatalf("want 4 points, got %d:\n%s", len(idx), out)
+	}
+	d1 := idx[1] - idx[0]
+	d2 := idx[2] - idx[1]
+	d3 := idx[3] - idx[2]
+	if absInt(d1-d2) > 1 || absInt(d2-d3) > 1 {
+		t.Fatalf("log spacing uneven: %v", idx)
+	}
+}
+
+func TestChartHandlesNaN(t *testing.T) {
+	s := []Series{{Name: "n", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}}}
+	out := Chart("", s, Options{})
+	if strings.Contains(out, "no finite data") {
+		t.Fatal("finite points were dropped")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", []Series{{Name: "e", X: []float64{1}, Y: []float64{math.Inf(1)}}}, Options{})
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("expected empty note:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := []Series{{Name: "c", X: []float64{5, 5}, Y: []float64{2, 2}}}
+	out := Chart("", s, Options{})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestChartAxisLabels(t *testing.T) {
+	s := []Series{{Name: "l", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := Chart("", s, Options{XLabel: "Mbps", YLabel: "objective"})
+	if !strings.Contains(out, "[Mbps]") || !strings.Contains(out, "y: objective") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Width != 64 || o.Height != 16 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Width: 2, Height: 1}.withDefaults()
+	if o.Width < 8 || o.Height < 4 {
+		t.Fatalf("minimums not enforced: %+v", o)
+	}
+}
+
+func TestDrawLineConnects(t *testing.T) {
+	s := []Series{{Name: "d", X: []float64{0, 10}, Y: []float64{0, 10}}}
+	out := Chart("", s, Options{Width: 20, Height: 10})
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no connecting segment drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+// Package queue implements the gateway queueing disciplines used in the
+// paper's experiments: drop-tail FIFOs with finite or infinite buffers
+// (all training scenarios and most testing scenarios), and sfqCoDel
+// (stochastic fair queueing over CoDel sub-queues), which the paper runs
+// at bottleneck gateways for its Cubic-over-sfqCoDel baseline.
+package queue
+
+import (
+	"learnability/internal/packet"
+	"learnability/internal/units"
+)
+
+// Discipline is a queueing discipline attached to the sending side of a
+// link. Enqueue is called when a packet arrives at the gateway; it
+// reports whether the packet was accepted (false means dropped on
+// arrival). Dequeue is called by the link when it is ready to transmit;
+// it returns nil when no packet is available. Disciplines may also drop
+// at dequeue time (CoDel does); such drops are visible in Stats.
+type Discipline interface {
+	Enqueue(now units.Time, p *packet.Packet) bool
+	Dequeue(now units.Time) *packet.Packet
+	// Len is the number of packets currently queued.
+	Len() int
+	// Bytes is the number of bytes currently queued.
+	Bytes() int
+	Stats() Stats
+}
+
+// Stats counts the traffic a discipline has handled.
+type Stats struct {
+	Enqueued     int64 // packets accepted
+	Dequeued     int64 // packets handed to the link
+	DropsTail    int64 // packets dropped at enqueue (buffer overflow)
+	DropsAQM     int64 // packets dropped by active queue management
+	BytesDropped int64
+}
+
+// Drops is the total number of dropped packets.
+func (s Stats) Drops() int64 { return s.DropsTail + s.DropsAQM }
+
+// DropRecorder receives a callback for every dropped packet; the
+// time-domain experiment (Figure 8) uses it to mark drop instants.
+type DropRecorder func(now units.Time, p *packet.Packet)
+
+// fifo is a slice-backed FIFO of packets with amortized O(1) operations.
+type fifo struct {
+	buf   []*packet.Packet
+	head  int
+	bytes int
+}
+
+func (f *fifo) push(p *packet.Packet) {
+	f.buf = append(f.buf, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *packet.Packet {
+	if f.head >= len(f.buf) {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	f.bytes -= p.Size
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = nil
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) peek() *packet.Packet {
+	if f.head >= len(f.buf) {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+func (f *fifo) len() int { return len(f.buf) - f.head }

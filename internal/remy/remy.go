@@ -1,0 +1,450 @@
+// Package remy implements the protocol-design tool the paper uses to
+// produce Tao protocols (§3.3): a search over piecewise-constant
+// mappings from congestion-signal memory to actions. Starting from a
+// single whisker with a default action, the trainer repeatedly
+// simulates the protocol on draws from the training-scenario
+// distribution, hill-climbs the most-used whiskers' actions, and splits
+// the most-used whisker so the mapping can discriminate finer memory
+// regions — Remy's evaluate/optimize/split loop, with candidate
+// evaluations fanned out across a worker pool.
+//
+// The paper spends a CPU-year per protocol; this trainer exposes the
+// same loop under an explicit budget (see DESIGN.md substitution #2).
+package remy
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"learnability/internal/cc/newreno"
+	"learnability/internal/cc/remycc"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/stats"
+	"learnability/internal/units"
+)
+
+// Config describes the training-scenario distribution (§3.1) and the
+// designer's objective (§3.2).
+type Config struct {
+	// Topology of every training draw.
+	Topology scenario.Topology
+
+	// LinkSpeedMin..Max: bottleneck rate, drawn log-uniformly (the
+	// paper samples link speeds "logarithmically from the range").
+	LinkSpeedMin, LinkSpeedMax units.Rate
+
+	// MinRTTMin..Max: round-trip propagation delay, drawn uniformly.
+	MinRTTMin, MinRTTMax units.Duration
+
+	// SendersMin..Max: number of trainee senders, drawn uniformly.
+	SendersMin, SendersMax int
+
+	// AIMDProb is the probability that one trainee sender is replaced
+	// by an AIMD (NewReno-like) sender, modeling incumbent TCP
+	// cross-traffic (§4.5's TCP-aware training).
+	AIMDProb float64
+
+	// MeanOn/MeanOff are the workload means.
+	MeanOn, MeanOff units.Duration
+
+	// Buffering and BufferBDP configure the gateway queues.
+	Buffering scenario.Buffering
+	BufferBDP float64
+
+	// Delta is the trainee's objective weight.
+	Delta float64
+
+	// Mask restricts the observable congestion signals (§3.4 knockout
+	// study). Zero value means all signals; use remycc.AllSignals()
+	// explicitly for clarity.
+	Mask remycc.SignalMask
+
+	// Other optionally adds senders running a fixed second protocol
+	// (co-optimization, §4.6). OtherCountMin..Max senders run Other
+	// with objective weight OtherDelta; their objective is added to
+	// the trainee's when IncludeOtherInObjective is set.
+	Other                   *remycc.Tree
+	OtherDelta              float64
+	OtherCountMin           int
+	OtherCountMax           int
+	IncludeOtherInObjective bool
+
+	// Duration is the simulated time per training run.
+	Duration units.Duration
+
+	// Replicas is the number of independent scenario draws averaged
+	// per candidate evaluation.
+	Replicas int
+
+	// SplitAtMidpoint is an ablation switch: split whiskers at the
+	// geometric midpoint of their domain instead of at the mean
+	// observed memory (Remy's adaptive-split refinement). Midpoint
+	// splits waste whiskers on empty memory regions; the ablation
+	// benchmark quantifies the cost.
+	SplitAtMidpoint bool
+
+	// DisablePacing is an ablation switch: restrict the action space
+	// to window dynamics only, pinning every whisker's intersend time
+	// to the minimum. The paper's action triplet (§3.5) includes a
+	// pacing bound; this measures what it buys.
+	DisablePacing bool
+}
+
+func (c *Config) normalize() Config {
+	out := *c
+	if out.Mask == (remycc.SignalMask{}) {
+		out.Mask = remycc.AllSignals()
+	}
+	if out.Replicas <= 0 {
+		out.Replicas = 4
+	}
+	if out.Duration <= 0 {
+		out.Duration = 16 * units.Second
+	}
+	if out.SendersMin <= 0 {
+		out.SendersMin = 1
+	}
+	if out.SendersMax < out.SendersMin {
+		out.SendersMax = out.SendersMin
+	}
+	if out.LinkSpeedMax < out.LinkSpeedMin {
+		out.LinkSpeedMax = out.LinkSpeedMin
+	}
+	if out.MinRTTMax < out.MinRTTMin {
+		out.MinRTTMax = out.MinRTTMin
+	}
+	return out
+}
+
+// draw is one concrete training scenario.
+type draw struct {
+	linkSpeed  units.Rate
+	linkSpeed2 units.Rate
+	minRTT     units.Duration
+	nTrainee   int
+	nAIMD      int
+	nOther     int
+	seed       *rng.Stream
+}
+
+// sample draws a concrete scenario from the training distribution.
+func (c *Config) sample(r *rng.Stream) draw {
+	d := draw{
+		linkSpeed: units.Rate(r.LogUniform(float64(c.LinkSpeedMin), float64(c.LinkSpeedMax))),
+		minRTT: c.MinRTTMin + units.Duration(
+			r.Uniform(0, float64(c.MinRTTMax-c.MinRTTMin))),
+		nTrainee: r.IntRange(c.SendersMin, c.SendersMax),
+	}
+	if c.Topology == scenario.ParkingLot {
+		d.linkSpeed2 = units.Rate(r.LogUniform(float64(c.LinkSpeedMin), float64(c.LinkSpeedMax)))
+		d.nTrainee = 3
+	}
+	if c.AIMDProb > 0 && d.nTrainee > 1 && r.Float64() < c.AIMDProb {
+		d.nTrainee--
+		d.nAIMD = 1
+	}
+	if c.Other != nil {
+		d.nOther = r.IntRange(c.OtherCountMin, c.OtherCountMax)
+		if d.nTrainee+d.nOther == 0 {
+			d.nTrainee = 1
+		}
+	}
+	d.seed = r.Split("scenario")
+	return d
+}
+
+// evalOne runs the candidate tree on one scenario draw and returns the
+// draw's objective plus whisker usage.
+func (c *Config) evalOne(tree *remycc.Tree, d draw) (float64, *remycc.UsageStats) {
+	usage := remycc.NewUsageStats(tree.Len())
+	var senders []scenario.Sender
+	var trainees []int
+	for i := 0; i < d.nTrainee; i++ {
+		alg := remycc.NewMasked(tree, c.Mask)
+		alg.RecordUsage(usage)
+		trainees = append(trainees, len(senders))
+		senders = append(senders, scenario.Sender{Alg: alg, Delta: c.Delta})
+	}
+	var others []int
+	for i := 0; i < d.nOther; i++ {
+		others = append(others, len(senders))
+		senders = append(senders, scenario.Sender{Alg: remycc.New(c.Other), Delta: c.OtherDelta})
+	}
+	for i := 0; i < d.nAIMD; i++ {
+		senders = append(senders, scenario.Sender{Alg: newreno.New(), Delta: c.Delta})
+	}
+
+	spec := scenario.Spec{
+		Topology:   c.Topology,
+		LinkSpeed:  d.linkSpeed,
+		LinkSpeed2: d.linkSpeed2,
+		MinRTT:     d.minRTT,
+		Buffering:  c.Buffering,
+		BufferBDP:  c.BufferBDP,
+		MeanOn:     c.MeanOn,
+		MeanOff:    c.MeanOff,
+		Senders:    senders,
+		Duration:   c.Duration,
+		Seed:       d.seed,
+	}
+	results := scenario.Run(spec)
+
+	score, n := 0.0, 0
+	scoreFlow := func(i int, delta float64) {
+		res := results[i]
+		if res.OnTime == 0 {
+			return
+		}
+		score += stats.Objective(res.Throughput, res.Delay, delta)
+		n++
+	}
+	for _, i := range trainees {
+		scoreFlow(i, c.Delta)
+	}
+	if c.IncludeOtherInObjective {
+		for _, i := range others {
+			scoreFlow(i, c.OtherDelta)
+		}
+	}
+	if n == 0 {
+		return 0, usage
+	}
+	return score / float64(n), usage
+}
+
+// Trainer runs the Remy search.
+type Trainer struct {
+	Cfg Config
+	// Workers bounds concurrent simulations (default: NumCPU).
+	Workers int
+	// Seed makes training deterministic.
+	Seed uint64
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Budget bounds the search effort.
+type Budget struct {
+	// Generations is the number of whisker-split rounds.
+	Generations int
+	// OptPasses is the maximum number of action-improvement passes per
+	// generation.
+	OptPasses int
+	// MovesPerWhisker caps hill-climb steps when optimizing one
+	// whisker's action.
+	MovesPerWhisker int
+}
+
+// DefaultBudget is a laptop-scale budget that trains a useful protocol
+// in seconds; cmd/remytrain accepts much larger ones.
+func DefaultBudget() Budget {
+	return Budget{Generations: 3, OptPasses: 2, MovesPerWhisker: 6}
+}
+
+func (b Budget) normalize() Budget {
+	if b.Generations < 0 {
+		b.Generations = 0
+	}
+	if b.OptPasses <= 0 {
+		b.OptPasses = 1
+	}
+	if b.MovesPerWhisker <= 0 {
+		b.MovesPerWhisker = 4
+	}
+	return b
+}
+
+func (t *Trainer) logf(format string, args ...any) {
+	if t.Log != nil {
+		t.Log(format, args...)
+	}
+}
+
+func (t *Trainer) workers() int {
+	if t.Workers > 0 {
+		return t.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// evaluate scores a tree on the generation's common scenario draws,
+// running replicas in parallel, and returns the mean objective and
+// merged whisker usage.
+func (t *Trainer) evaluate(cfg Config, tree *remycc.Tree, gen int) (float64, *remycc.UsageStats) {
+	type out struct {
+		score float64
+		usage *remycc.UsageStats
+	}
+	outs := make([]out, cfg.Replicas)
+	root := rng.New(t.Seed).SplitN("generation", gen)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, t.workers())
+	for k := 0; k < cfg.Replicas; k++ {
+		k := k
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			d := cfg.sample(root.SplitN("replica", k))
+			s, u := cfg.evalOne(tree, d)
+			outs[k] = out{s, u}
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	usage := remycc.NewUsageStats(tree.Len())
+	for _, o := range outs {
+		total += o.score
+		usage.Merge(o.usage)
+	}
+	return total / float64(cfg.Replicas), usage
+}
+
+// neighbors generates the candidate actions adjacent to a. When
+// pacing is disabled the intersend dimension is frozen.
+func neighbors(a remycc.Action, disablePacing bool) []remycc.Action {
+	var out []remycc.Action
+	add := func(n remycc.Action) { out = append(out, n.Clamp()) }
+	for _, dm := range []float64{-0.2, -0.05, 0.05, 0.2} {
+		n := a
+		n.WindowMult += dm
+		add(n)
+	}
+	for _, db := range []float64{-4, -1, 1, 4} {
+		n := a
+		n.WindowIncr += db
+		add(n)
+	}
+	if !disablePacing {
+		for _, ft := range []float64{0.25, 0.5, 0.8, 1.25, 2, 4} {
+			n := a
+			n.Intersend *= ft
+			add(n)
+		}
+	}
+	return out
+}
+
+// improvementEpsilon is the minimum objective gain to accept a move
+// (guards against chasing simulation noise).
+const improvementEpsilon = 1e-4
+
+// Train runs the search and returns the trained tree.
+func (t *Trainer) Train(b Budget) *remycc.Tree {
+	cfg := t.Cfg.normalize()
+	b = b.normalize()
+	tree := remycc.NewTree()
+	if cfg.DisablePacing {
+		a := tree.Action(0)
+		a.Intersend = remycc.MinIntersend
+		tree = tree.WithAction(0, a)
+	}
+
+	for gen := 0; ; gen++ {
+		score, usage := t.evaluate(cfg, tree, gen)
+		t.logf("gen %d: score %.4f, %d whiskers", gen, score, tree.Len())
+
+		// Action optimization passes.
+		for pass := 0; pass < b.OptPasses; pass++ {
+			order := usageOrder(usage)
+			before := score
+			for _, wi := range order {
+				tree, score = t.optimizeWhisker(cfg, tree, wi, score, gen, b.MovesPerWhisker)
+			}
+			// Refresh usage (and the reference score) for the next pass
+			// or the split decision.
+			score, usage = t.evaluate(cfg, tree, gen)
+			if score <= before+improvementEpsilon {
+				break
+			}
+		}
+
+		if gen >= b.Generations {
+			break
+		}
+
+		// Split the most-used whisker — at its mean observed memory by
+		// default, or at its domain midpoint under the ablation.
+		wi := usage.MostUsed()
+		if wi < 0 {
+			t.logf("gen %d: no whisker usage; stopping", gen)
+			break
+		}
+		at := usage.Mean(wi)
+		if cfg.SplitAtMidpoint {
+			dom := tree.Whiskers[wi].Domain
+			for d := 0; d < remycc.NumSignals; d++ {
+				at[d] = (dom.Lo[d] + dom.Hi[d]) / 2
+			}
+		}
+		dims := enabledDims(cfg.Mask)
+		nt, ok := tree.Split(wi, at, dims)
+		if !ok {
+			t.logf("gen %d: split degenerate; stopping", gen)
+			break
+		}
+		tree = nt
+		t.logf("gen %d: split whisker %d -> %d whiskers", gen, wi, tree.Len())
+	}
+	return tree
+}
+
+// optimizeWhisker hill-climbs one whisker's action; candidate neighbor
+// actions are evaluated in parallel.
+func (t *Trainer) optimizeWhisker(cfg Config, tree *remycc.Tree, wi int, score float64, gen, maxMoves int) (*remycc.Tree, float64) {
+	for move := 0; move < maxMoves; move++ {
+		cands := neighbors(tree.Action(wi), cfg.DisablePacing)
+		scores := make([]float64, len(cands))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, max(1, t.workers()/max(1, cfg.Replicas)))
+		for ci, a := range cands {
+			ci, a := ci, a
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				scores[ci], _ = t.evaluate(cfg, tree.WithAction(wi, a), gen)
+			}()
+		}
+		wg.Wait()
+		best, bestScore := -1, score
+		for ci, s := range scores {
+			if s > bestScore+improvementEpsilon {
+				best, bestScore = ci, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		tree = tree.WithAction(wi, cands[best])
+		score = bestScore
+		t.logf("  whisker %d -> %+v (score %.4f)", wi, tree.Action(wi), score)
+	}
+	return tree, score
+}
+
+// usageOrder returns whisker indices sorted by descending use count,
+// skipping unused whiskers.
+func usageOrder(u *remycc.UsageStats) []int {
+	var idx []int
+	for i, c := range u.Count {
+		if c > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return u.Count[idx[a]] > u.Count[idx[b]] })
+	return idx
+}
+
+// enabledDims lists the splittable memory dimensions under a mask.
+func enabledDims(mask remycc.SignalMask) []remycc.Signal {
+	var dims []remycc.Signal
+	for s := remycc.Signal(0); s < remycc.NumSignals; s++ {
+		if mask.Enabled(s) {
+			dims = append(dims, s)
+		}
+	}
+	return dims
+}

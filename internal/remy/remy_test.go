@@ -1,0 +1,319 @@
+package remy
+
+import (
+	"testing"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// tinyConfig is a fast training distribution for tests: a narrow
+// dumbbell around 8 Mbps with 2 senders.
+func tinyConfig() Config {
+	return Config{
+		Topology:     scenario.Dumbbell,
+		LinkSpeedMin: 7 * units.Mbps,
+		LinkSpeedMax: 9 * units.Mbps,
+		MinRTTMin:    100 * units.Millisecond,
+		MinRTTMax:    100 * units.Millisecond,
+		SendersMin:   2,
+		SendersMax:   2,
+		MeanOn:       units.Second,
+		MeanOff:      units.Second,
+		Buffering:    scenario.FiniteDropTail,
+		BufferBDP:    5,
+		Delta:        1,
+		Mask:         remycc.AllSignals(),
+		Duration:     10 * units.Second,
+		Replicas:     2,
+	}
+}
+
+func TestTrainingImprovesObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr := &Trainer{Cfg: tinyConfig(), Seed: 1}
+	cfg := tr.Cfg.normalize()
+	baseline, _ := tr.evaluate(cfg, remycc.NewTree(), 0)
+	trained := tr.Train(Budget{Generations: 1, OptPasses: 1, MovesPerWhisker: 4})
+	final, _ := tr.evaluate(cfg, trained, 0)
+	if final < baseline {
+		t.Fatalf("training regressed the objective: %.4f -> %.4f", baseline, final)
+	}
+	if trained.Len() < 1 {
+		t.Fatal("empty trained tree")
+	}
+	if err := trained.Validate(); err != nil {
+		t.Fatalf("trained tree invalid: %v", err)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	b := Budget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2}
+	t1 := (&Trainer{Cfg: tinyConfig(), Seed: 7, Workers: 4}).Train(b)
+	t2 := (&Trainer{Cfg: tinyConfig(), Seed: 7, Workers: 4}).Train(b)
+	if t1.Len() != t2.Len() {
+		t.Fatalf("tree sizes differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	for i := range t1.Whiskers {
+		if t1.Whiskers[i] != t2.Whiskers[i] {
+			t.Fatalf("whisker %d differs:\n%+v\n%+v", i, t1.Whiskers[i], t2.Whiskers[i])
+		}
+	}
+}
+
+func TestKnockoutNeverSplitsMaskedDim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig()
+	cfg.Mask = remycc.AllSignals().Without(remycc.RecEWMA)
+	tr := &Trainer{Cfg: cfg, Seed: 3}
+	trained := tr.Train(Budget{Generations: 2, OptPasses: 1, MovesPerWhisker: 2})
+	full := remycc.FullDomain()
+	for i, w := range trained.Whiskers {
+		if w.Domain.Lo[remycc.RecEWMA] != full.Lo[remycc.RecEWMA] ||
+			w.Domain.Hi[remycc.RecEWMA] != full.Hi[remycc.RecEWMA] {
+			t.Fatalf("whisker %d split along the masked rec_ewma dimension: %+v", i, w.Domain)
+		}
+	}
+}
+
+func TestSampleRespectsRanges(t *testing.T) {
+	cfg := Config{
+		Topology:     scenario.Dumbbell,
+		LinkSpeedMin: units.Mbps,
+		LinkSpeedMax: 1000 * units.Mbps,
+		MinRTTMin:    50 * units.Millisecond,
+		MinRTTMax:    250 * units.Millisecond,
+		SendersMin:   1,
+		SendersMax:   10,
+	}
+	r := rng.New(5)
+	for i := 0; i < 500; i++ {
+		d := cfg.sample(r)
+		if d.linkSpeed < units.Mbps || d.linkSpeed >= 1000*units.Mbps {
+			t.Fatalf("link speed out of range: %v", d.linkSpeed)
+		}
+		if d.minRTT < 50*units.Millisecond || d.minRTT > 250*units.Millisecond {
+			t.Fatalf("minRTT out of range: %v", d.minRTT)
+		}
+		if d.nTrainee < 1 || d.nTrainee > 10 {
+			t.Fatalf("senders out of range: %d", d.nTrainee)
+		}
+		if d.nAIMD != 0 || d.nOther != 0 {
+			t.Fatalf("unexpected cross traffic: %+v", d)
+		}
+	}
+}
+
+func TestSampleAIMDMix(t *testing.T) {
+	cfg := Config{
+		Topology:     scenario.Dumbbell,
+		LinkSpeedMin: 10 * units.Mbps,
+		LinkSpeedMax: 10 * units.Mbps,
+		SendersMin:   2,
+		SendersMax:   2,
+		AIMDProb:     0.5,
+	}
+	r := rng.New(6)
+	mixed := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d := cfg.sample(r)
+		if d.nAIMD == 1 {
+			if d.nTrainee != 1 {
+				t.Fatalf("mixed draw should have 1 trainee, got %d", d.nTrainee)
+			}
+			mixed++
+		} else if d.nTrainee != 2 {
+			t.Fatalf("pure draw should have 2 trainees, got %d", d.nTrainee)
+		}
+	}
+	if mixed < n*4/10 || mixed > n*6/10 {
+		t.Fatalf("mixed fraction = %d/%d, want ~1/2", mixed, n)
+	}
+}
+
+func TestSampleCoOptimization(t *testing.T) {
+	other := remycc.NewTree()
+	cfg := Config{
+		Topology:      scenario.Dumbbell,
+		LinkSpeedMin:  10 * units.Mbps,
+		LinkSpeedMax:  10 * units.Mbps,
+		SendersMin:    1,
+		SendersMax:    2,
+		Other:         other,
+		OtherCountMin: 0,
+		OtherCountMax: 2,
+	}
+	// Force trainee range to include 0 via normalize? SendersMin >= 1
+	// here, so just check other counts appear.
+	r := rng.New(8)
+	sawOther := false
+	for i := 0; i < 200; i++ {
+		d := cfg.sample(r)
+		if d.nOther > 0 {
+			sawOther = true
+		}
+		if d.nTrainee+d.nOther == 0 {
+			t.Fatal("empty draw")
+		}
+	}
+	if !sawOther {
+		t.Fatal("co-optimization never drew partner senders")
+	}
+}
+
+func TestEvalOneScoresTraineesOnly(t *testing.T) {
+	base := tinyConfig()
+	base.AIMDProb = 1.0 // 1 trainee + 1 AIMD
+	cfg := base.normalize()
+	d := cfg.sample(rng.New(9))
+	if d.nAIMD != 1 {
+		t.Fatalf("expected AIMD draw, got %+v", d)
+	}
+	score, usage := cfg.evalOne(remycc.NewTree(), d)
+	if score == 0 {
+		t.Fatal("zero score from a live scenario")
+	}
+	total := int64(0)
+	for _, c := range usage.Count {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no whisker usage recorded")
+	}
+}
+
+func TestNeighborsStayInBounds(t *testing.T) {
+	a := remycc.Action{WindowMult: remycc.MaxWindowMult, WindowIncr: remycc.MaxWindowIncr, Intersend: remycc.MaxIntersend}
+	for _, n := range neighbors(a, false) {
+		if n.WindowMult > remycc.MaxWindowMult || n.WindowIncr > remycc.MaxWindowIncr || n.Intersend > remycc.MaxIntersend {
+			t.Fatalf("neighbor out of bounds: %+v", n)
+		}
+	}
+	a = remycc.Action{WindowMult: remycc.MinWindowMult, WindowIncr: remycc.MinWindowIncr, Intersend: remycc.MinIntersend}
+	for _, n := range neighbors(a, false) {
+		if n.WindowMult < remycc.MinWindowMult || n.WindowIncr < remycc.MinWindowIncr || n.Intersend < remycc.MinIntersend {
+			t.Fatalf("neighbor out of bounds: %+v", n)
+		}
+	}
+}
+
+func TestNeighborsPacingAblation(t *testing.T) {
+	a := remycc.Action{WindowMult: 1, WindowIncr: 1, Intersend: 0.001}
+	for _, n := range neighbors(a, true) {
+		if n.Intersend != a.Intersend {
+			t.Fatalf("pacing-ablated neighbors moved intersend: %+v", n)
+		}
+	}
+	if len(neighbors(a, true)) >= len(neighbors(a, false)) {
+		t.Fatal("ablation should shrink the candidate set")
+	}
+}
+
+func TestBudgetNormalize(t *testing.T) {
+	b := Budget{Generations: -1}.normalize()
+	if b.Generations != 0 || b.OptPasses != 1 || b.MovesPerWhisker != 4 {
+		t.Fatalf("normalized budget = %+v", b)
+	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	c := (&Config{LinkSpeedMin: units.Mbps}).normalize()
+	if c.Mask != remycc.AllSignals() {
+		t.Fatal("mask default not applied")
+	}
+	if c.Replicas != 4 || c.Duration != 16*units.Second {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.SendersMin != 1 || c.SendersMax != 1 {
+		t.Fatalf("sender defaults = %d..%d", c.SendersMin, c.SendersMax)
+	}
+	if c.LinkSpeedMax != units.Mbps {
+		t.Fatal("link speed max default not applied")
+	}
+}
+
+func TestUsageOrder(t *testing.T) {
+	u := remycc.NewUsageStats(4)
+	u.Count[0] = 5
+	u.Count[2] = 9
+	u.Count[3] = 1
+	got := usageOrder(u)
+	want := []int{2, 0, 3}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnabledDims(t *testing.T) {
+	dims := enabledDims(remycc.AllSignals().Without(remycc.SendEWMA))
+	if len(dims) != 3 {
+		t.Fatalf("dims = %v", dims)
+	}
+	for _, d := range dims {
+		if d == remycc.SendEWMA {
+			t.Fatal("masked dim included")
+		}
+	}
+}
+
+func TestDisablePacingTrainsWindowOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig()
+	cfg.DisablePacing = true
+	tr := &Trainer{Cfg: cfg, Seed: 13}
+	tree := tr.Train(Budget{Generations: 1, OptPasses: 1, MovesPerWhisker: 3})
+	for i, w := range tree.Whiskers {
+		if w.Action.Intersend != remycc.MinIntersend {
+			t.Fatalf("whisker %d intersend = %v; pacing ablation leaked", i, w.Action.Intersend)
+		}
+	}
+}
+
+func TestSplitAtMidpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := tinyConfig()
+	cfg.SplitAtMidpoint = true
+	tr := &Trainer{Cfg: cfg, Seed: 14}
+	tree := tr.Train(Budget{Generations: 1, OptPasses: 1, MovesPerWhisker: 1})
+	if tree.Len() < 2 {
+		t.Skip("no split happened under the tiny budget")
+	}
+	// Every split plane must be at a domain midpoint: each whisker
+	// boundary along a split dimension equals (lo+hi)/2 of the full
+	// domain for the first generation.
+	full := remycc.FullDomain()
+	foundMid := false
+	for _, w := range tree.Whiskers {
+		for d := 0; d < remycc.NumSignals; d++ {
+			mid := (full.Lo[d] + full.Hi[d]) / 2
+			if w.Domain.Lo[d] == mid || w.Domain.Hi[d] == mid {
+				foundMid = true
+			}
+		}
+	}
+	if !foundMid {
+		t.Fatal("no midpoint split plane found")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

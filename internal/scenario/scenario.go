@@ -1,0 +1,231 @@
+// Package scenario turns a declarative network-configuration
+// description (§3.1: topology, senders, workload, buffering) into a
+// runnable simulation and reports the per-flow results. Both the Remy
+// trainer (which evaluates candidate protocols on draws from the
+// training distribution) and the experiment runners (which evaluate
+// trained protocols on testing sweeps) execute scenarios through this
+// package.
+package scenario
+
+import (
+	"learnability/internal/cc"
+	"learnability/internal/netsim"
+	"learnability/internal/queue"
+	"learnability/internal/rng"
+	"learnability/internal/topo"
+	"learnability/internal/units"
+	"learnability/internal/workload"
+)
+
+// Topology selects the network shape.
+type Topology int
+
+// Supported topologies.
+const (
+	// Dumbbell is a single shared bottleneck.
+	Dumbbell Topology = iota
+	// ParkingLot is the paper's Figure 5 two-bottleneck topology; it
+	// requires exactly three senders (flow 0 crosses both links).
+	ParkingLot
+)
+
+// Buffering selects the gateway queue.
+type Buffering int
+
+// Supported gateway queues.
+const (
+	// FiniteDropTail is a FIFO with BufferBDP bandwidth-delay products
+	// of buffering.
+	FiniteDropTail Buffering = iota
+	// NoDrop is an unbounded FIFO (the paper's "no packet drops"
+	// scenarios).
+	NoDrop
+	// SfqCoDel runs sfqCoDel at the gateway with BufferBDP of hard
+	// backstop.
+	SfqCoDel
+)
+
+// Sender describes one endpoint.
+type Sender struct {
+	// Alg is the sender's congestion controller (a fresh instance per
+	// run; scenarios never share controller state).
+	Alg cc.Algorithm
+	// Delta is the sender's objective weight (§3.2).
+	Delta float64
+	// Workload optionally overrides the spec-level on/off process for
+	// this sender (used by the deterministic Figure 8 schedule). Nil
+	// means an exponential on/off source with the spec's means.
+	Workload workload.Source
+}
+
+// Spec is one concrete network configuration plus its workload and
+// duration.
+type Spec struct {
+	Topology Topology
+
+	// LinkSpeed is the (first) bottleneck rate. LinkSpeed2 is the
+	// second bottleneck's rate, used only by ParkingLot.
+	LinkSpeed  units.Rate
+	LinkSpeed2 units.Rate
+
+	// MinRTT is the round-trip propagation delay of a dumbbell flow.
+	// For ParkingLot it is the *long* flow's minimum RTT; each hop
+	// contributes MinRTT/4 of one-way propagation.
+	MinRTT units.Duration
+
+	// Buffering and BufferBDP configure each gateway queue. BufferBDP
+	// is in multiples of LinkSpeed*MinRTT (per link, using that link's
+	// rate).
+	Buffering Buffering
+	BufferBDP float64
+
+	// MeanOn and MeanOff are the exponential workload means.
+	MeanOn, MeanOff units.Duration
+
+	Senders []Sender
+
+	// Duration is the simulated run length.
+	Duration units.Duration
+
+	// Seed derives every random stream in the run (workloads). Label
+	// separation keeps training and testing draws disjoint.
+	Seed *rng.Stream
+
+	// Probe, when non-nil, is invoked every ProbeInterval of simulated
+	// time during the run (ProbeInterval defaults to 100 ms). Probes
+	// can inspect sender state (e.g. Tao congestion signals) as the
+	// simulation evolves.
+	Probe         func(now units.Time)
+	ProbeInterval units.Duration
+}
+
+// Result reports one flow's outcome.
+type Result struct {
+	Flow        int
+	Throughput  units.Rate
+	Delay       units.Duration // average one-way per-packet delay
+	QueueDelay  units.Duration
+	MinRTT      units.Duration
+	FairShare   units.Rate // equal split of the flow's path bottleneck
+	OnTime      units.Duration
+	Retransmits int64
+	Timeouts    int64
+	Delta       float64
+}
+
+// Run executes the scenario and returns one Result per sender, in
+// order.
+func Run(spec Spec) []Result {
+	nw, _ := Build(spec)
+	return Finish(spec, nw)
+}
+
+// Build assembles the network for a spec without running it, so
+// callers can attach probes (queue samplers, drop recorders). The
+// returned queues are the gateway disciplines in link order.
+func Build(spec Spec) (*netsim.Network, []queue.Discipline) {
+	if spec.Seed == nil {
+		panic("scenario: spec needs a seed stream")
+	}
+	if spec.Duration <= 0 {
+		panic("scenario: spec needs a positive duration")
+	}
+	mkQueue := func(rate units.Rate) queue.Discipline {
+		switch spec.Buffering {
+		case NoDrop:
+			return queue.NewInfinite()
+		case FiniteDropTail, SfqCoDel:
+			capBytes := int(float64(units.BDPBytes(rate, spec.MinRTT)) * spec.BufferBDP)
+			if capBytes < 2*1500 {
+				capBytes = 2 * 1500
+			}
+			if spec.Buffering == SfqCoDel {
+				return queue.NewSFQCoDel(queue.SFQCoDelBins, capBytes)
+			}
+			return queue.NewDropTail(capBytes)
+		default:
+			panic("scenario: unknown buffering")
+		}
+	}
+
+	flows := make([]topo.FlowSpec, len(spec.Senders))
+	for i, snd := range spec.Senders {
+		wl := snd.Workload
+		if wl == nil {
+			wl = workload.NewOnOff(spec.MeanOn, spec.MeanOff, spec.Seed.SplitN("workload", i))
+		}
+		flows[i] = topo.FlowSpec{Alg: snd.Alg, Workload: wl}
+	}
+
+	switch spec.Topology {
+	case Dumbbell:
+		q := mkQueue(spec.LinkSpeed)
+		nw := topo.Dumbbell(spec.LinkSpeed, spec.MinRTT, q, flows)
+		return nw, []queue.Discipline{q}
+	case ParkingLot:
+		if len(spec.Senders) != 3 {
+			panic("scenario: parking lot needs exactly 3 senders")
+		}
+		q1 := mkQueue(spec.LinkSpeed)
+		q2 := mkQueue(spec.LinkSpeed2)
+		hop := units.Duration(spec.MinRTT / 4)
+		nw := topo.ParkingLot(spec.LinkSpeed, spec.LinkSpeed2, hop, q1, q2, flows)
+		return nw, []queue.Discipline{q1, q2}
+	default:
+		panic("scenario: unknown topology")
+	}
+}
+
+// Finish runs a built network for the spec's duration and collects
+// results.
+func Finish(spec Spec, nw *netsim.Network) []Result {
+	if spec.Probe != nil {
+		interval := spec.ProbeInterval
+		if interval <= 0 {
+			interval = 100 * units.Millisecond
+		}
+		nw.Sample(interval, spec.Probe)
+	}
+	sts := nw.Run(spec.Duration)
+	out := make([]Result, len(sts))
+	for i, st := range sts {
+		out[i] = Result{
+			Flow:        i,
+			Throughput:  st.Throughput(),
+			Delay:       st.AvgDelay(),
+			QueueDelay:  st.AvgQueueingDelay(),
+			MinRTT:      st.MinRTT,
+			FairShare:   fairShare(spec, i),
+			OnTime:      st.OnTime,
+			Retransmits: st.Retransmits,
+			Timeouts:    st.Timeouts,
+			Delta:       spec.Senders[i].Delta,
+		}
+	}
+	return out
+}
+
+// fairShare is the equal split of the flow's bottleneck link among all
+// senders sharing it, used for normalized objectives.
+func fairShare(spec Spec, flow int) units.Rate {
+	switch spec.Topology {
+	case Dumbbell:
+		return spec.LinkSpeed / units.Rate(len(spec.Senders))
+	case ParkingLot:
+		// Each link carries two flows.
+		switch flow {
+		case 0:
+			r := spec.LinkSpeed
+			if spec.LinkSpeed2 < r {
+				r = spec.LinkSpeed2
+			}
+			return r / 2
+		case 1:
+			return spec.LinkSpeed / 2
+		default:
+			return spec.LinkSpeed2 / 2
+		}
+	default:
+		panic("scenario: unknown topology")
+	}
+}

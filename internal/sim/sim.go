@@ -1,0 +1,185 @@
+// Package sim implements the discrete-event simulation core: a scheduler
+// holding a time-ordered queue of pending events, with deterministic
+// tie-breaking by insertion order.
+//
+// Components schedule callbacks with At or After; Run drains the queue in
+// time order until it is empty, a deadline is reached, or the simulation
+// is stopped. All simulation state is owned by a single goroutine; the
+// scheduler is deliberately not safe for concurrent use (parallelism in
+// this repository happens across independent simulations, never inside
+// one).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"learnability/internal/units"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   units.Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and not yet fired or
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+}
+
+// When reports the firing time of a pending timer, or units.MaxTime if
+// the timer is not pending.
+func (t *Timer) When() units.Time {
+	if !t.Pending() {
+		return units.MaxTime
+	}
+	return t.ev.at
+}
+
+// Scheduler is a discrete-event scheduler. The zero value is ready to
+// use, starting at time 0.
+type Scheduler struct {
+	now     units.Time
+	q       eventHeap
+	seq     uint64
+	stopped bool
+	// Processed counts events executed since creation (observability).
+	processed uint64
+}
+
+// New returns a new Scheduler starting at time 0.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() units.Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// At schedules fn to run at time t. Scheduling in the past (before Now)
+// panics: it always indicates a logic error in a component.
+func (s *Scheduler) At(t units.Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.q, ev)
+	return &Timer{s: s, ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d units.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop halts Run after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Len reports the number of pending (non-cancelled) events. Cancelled
+// events still occupy the heap until their time arrives, so this is an
+// upper bound used only by tests and diagnostics.
+func (s *Scheduler) Len() int { return len(s.q) }
+
+// Run executes events in time order until the queue is empty, Stop is
+// called, or the next event would fire after deadline. It returns the
+// simulated time at which it stopped: the deadline if it was reached,
+// otherwise the time of the last executed event (or the current time if
+// no event ran).
+func (s *Scheduler) Run(deadline units.Time) units.Time {
+	s.stopped = false
+	for len(s.q) > 0 && !s.stopped {
+		ev := s.q[0]
+		if ev.at > deadline {
+			s.now = deadline
+			return s.now
+		}
+		heap.Pop(&s.q)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+	}
+	if !s.stopped && s.now < deadline {
+		// Queue drained before the deadline; advance to it so callers can
+		// measure over the full interval.
+		s.now = deadline
+	}
+	return s.now
+}
+
+// Step executes the single next pending event, if any, and reports
+// whether one was executed. Used by tests that need fine-grained control.
+func (s *Scheduler) Step() bool {
+	for len(s.q) > 0 {
+		ev := heap.Pop(&s.q).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

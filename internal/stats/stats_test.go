@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"learnability/internal/units"
+)
+
+func TestObjectiveMonotonic(t *testing.T) {
+	base := Objective(10*units.Mbps, 100*units.Millisecond, 1)
+	if Objective(20*units.Mbps, 100*units.Millisecond, 1) <= base {
+		t.Fatal("objective should grow with throughput")
+	}
+	if Objective(10*units.Mbps, 200*units.Millisecond, 1) >= base {
+		t.Fatal("objective should shrink with delay")
+	}
+}
+
+func TestObjectiveDelta(t *testing.T) {
+	// With delta=0 delay is ignored.
+	a := Objective(10*units.Mbps, 100*units.Millisecond, 0)
+	b := Objective(10*units.Mbps, units.Second, 0)
+	if a != b {
+		t.Fatal("delta=0 should ignore delay")
+	}
+	// Large delta weights delay heavily: halving delay helps more than
+	// doubling throughput.
+	d1 := Objective(10*units.Mbps, 100*units.Millisecond, 10)
+	d2 := Objective(20*units.Mbps, 100*units.Millisecond, 10)
+	d3 := Objective(10*units.Mbps, 50*units.Millisecond, 10)
+	if d3-d1 <= d2-d1 {
+		t.Fatal("with delta=10, delay improvements should dominate")
+	}
+}
+
+func TestObjectiveProportionalFairness(t *testing.T) {
+	// log utility: halving one flow to more-than-double another wins.
+	before := Objective(10*units.Mbps, 100*units.Millisecond, 1) +
+		Objective(2*units.Mbps, 100*units.Millisecond, 1)
+	after := Objective(5*units.Mbps, 100*units.Millisecond, 1) +
+		Objective(5*units.Mbps, 100*units.Millisecond, 1)
+	if after <= before {
+		t.Fatal("log objective should prefer the fairer allocation")
+	}
+}
+
+func TestObjectiveFiniteOnStarvation(t *testing.T) {
+	v := Objective(0, 0, 1)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("objective not finite on starved flow: %v", v)
+	}
+}
+
+func TestNormalizedObjectiveZeroAtOmniscient(t *testing.T) {
+	got := NormalizedObjective(16*units.Mbps, 16*units.Mbps,
+		150*units.Millisecond, 150*units.Millisecond, 1)
+	if math.Abs(got) > 1e-9 {
+		t.Fatalf("omniscient point should score 0, got %v", got)
+	}
+}
+
+func TestNormalizedObjectiveNegativeBelowFair(t *testing.T) {
+	got := NormalizedObjective(8*units.Mbps, 16*units.Mbps,
+		300*units.Millisecond, 150*units.Millisecond, 1)
+	want := math.Log(0.5) - math.Log(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestNormalizedObjectivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NormalizedObjective(units.Mbps, 0, units.Millisecond, units.Millisecond, 1)
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median empty = %v", got)
+	}
+	// Input not modified.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median sorted the caller's slice")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of one sample should be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1e6, 2e6, 3e6}, []float64{0.1, 0.2, 0.3})
+	if s.MedianTptBps != 2e6 || s.MedianDelaySec != 0.2 || s.N != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.StdTptBps <= 0 || s.StdDelaySec <= 0 {
+		t.Fatalf("stds should be positive: %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize([]float64{1}, []float64{1, 2})
+}

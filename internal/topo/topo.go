@@ -1,0 +1,139 @@
+// Package topo assembles the paper's two topologies into runnable
+// netsim Networks: the dumbbell (single shared bottleneck, used by every
+// experiment except §4.4) and the two-bottleneck "parking lot" of
+// Figure 5.
+package topo
+
+import (
+	"learnability/internal/cc"
+	"learnability/internal/netsim"
+	"learnability/internal/queue"
+	"learnability/internal/units"
+	"learnability/internal/workload"
+)
+
+// FlowSpec describes one sender-receiver pair: its congestion-control
+// algorithm and its workload.
+type FlowSpec struct {
+	Alg      cc.Algorithm
+	Workload workload.Source
+}
+
+// Dumbbell builds a network of len(flows) senders sharing one
+// bottleneck link of the given rate, with q as the gateway discipline.
+// The one-way propagation delay is minRTT/2 in each direction, so the
+// minimum RTT matches the paper's scenario tables.
+func Dumbbell(rate units.Rate, minRTT units.Duration, q queue.Discipline, flows []FlowSpec) *netsim.Network {
+	if len(flows) == 0 {
+		panic("topo: dumbbell with no flows")
+	}
+	if minRTT <= 0 {
+		panic("topo: dumbbell with non-positive minRTT")
+	}
+	nw := netsim.New()
+	prop := units.Duration(minRTT / 2)
+	link := netsim.NewLink(nw.Sched, rate, prop, q)
+	nw.AddLink(link)
+	receivers := make([]*netsim.Receiver, len(flows))
+	for i, fs := range flows {
+		st := &netsim.FlowStats{Flow: i, PropDelay: prop, MinRTT: minRTT}
+		rcv := netsim.NewReceiver(nw.Sched, i, units.Duration(minRTT)-prop, st)
+		snd := netsim.NewSender(nw.Sched, i, fs.Alg, link, st)
+		rcv.SetSender(snd)
+		receivers[i] = rcv
+		nw.AddFlow(&netsim.Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: fs.Workload})
+	}
+	link.SetRoute(func(flow int) netsim.Deliverer { return receivers[flow] })
+	return nw
+}
+
+// ParkingLot builds the paper's Figure 5 topology: nodes A--B--C with
+// Link 1 (A to B) and Link 2 (B to C), each with one-way propagation
+// hopProp. Flow 0 crosses both links (A to C), flow 1 crosses only
+// Link 1 (A to B), and flow 2 crosses only Link 2 (B to C). flows must
+// therefore have exactly three entries, in that order.
+func ParkingLot(rate1, rate2 units.Rate, hopProp units.Duration,
+	q1, q2 queue.Discipline, flows []FlowSpec) *netsim.Network {
+
+	if len(flows) != 3 {
+		panic("topo: parking lot needs exactly 3 flows")
+	}
+	if hopProp <= 0 {
+		panic("topo: parking lot with non-positive hop propagation")
+	}
+	nw := netsim.New()
+	l1 := netsim.NewLink(nw.Sched, rate1, hopProp, q1)
+	l2 := netsim.NewLink(nw.Sched, rate2, hopProp, q2)
+	nw.AddLink(l1)
+	nw.AddLink(l2)
+
+	// One-way path propagation per flow.
+	props := []units.Duration{2 * hopProp, hopProp, hopProp}
+	ingress := []netsim.Deliverer{l1, l1, l2}
+
+	receivers := make([]*netsim.Receiver, 3)
+	for i, fs := range flows {
+		st := &netsim.FlowStats{Flow: i, PropDelay: props[i], MinRTT: 2 * props[i]}
+		rcv := netsim.NewReceiver(nw.Sched, i, props[i], st)
+		snd := netsim.NewSender(nw.Sched, i, fs.Alg, ingress[i], st)
+		rcv.SetSender(snd)
+		receivers[i] = rcv
+		nw.AddFlow(&netsim.Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: fs.Workload})
+	}
+	l1.SetRoute(func(flow int) netsim.Deliverer {
+		if flow == 0 {
+			return l2 // continues across the second hop
+		}
+		return receivers[1]
+	})
+	l2.SetRoute(func(flow int) netsim.Deliverer { return receivers[flow] })
+	return nw
+}
+
+// QueueSpec is a declarative gateway-queue description used by the
+// experiment configurations.
+type QueueSpec struct {
+	// Kind selects the discipline.
+	Kind QueueKind
+	// CapBytes is the buffer capacity for finite queues; ignored for
+	// Infinite.
+	CapBytes int
+}
+
+// QueueKind enumerates gateway disciplines.
+type QueueKind int
+
+// Supported disciplines.
+const (
+	DropTail QueueKind = iota
+	Infinite
+	SFQCoDel
+)
+
+// Build instantiates the discipline.
+func (q QueueSpec) Build() queue.Discipline {
+	switch q.Kind {
+	case DropTail:
+		return queue.NewDropTail(q.CapBytes)
+	case Infinite:
+		return queue.NewInfinite()
+	case SFQCoDel:
+		return queue.NewSFQCoDel(queue.SFQCoDelBins, q.CapBytes)
+	default:
+		panic("topo: unknown queue kind")
+	}
+}
+
+// String names the discipline for experiment tables.
+func (q QueueKind) String() string {
+	switch q {
+	case DropTail:
+		return "droptail"
+	case Infinite:
+		return "infinite"
+	case SFQCoDel:
+		return "sfqcodel"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,158 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"learnability/internal/cc"
+	"learnability/internal/queue"
+	"learnability/internal/units"
+	"learnability/internal/workload"
+)
+
+// fixedCC is a constant-window stub.
+type fixedCC struct{ w float64 }
+
+func (f *fixedCC) Reset(units.Time)               {}
+func (f *fixedCC) OnACK(units.Time, cc.Feedback)  {}
+func (f *fixedCC) OnLoss(units.Time)              {}
+func (f *fixedCC) OnTimeout(units.Time)           {}
+func (f *fixedCC) Window() float64                { return f.w }
+func (f *fixedCC) PacingInterval() units.Duration { return 0 }
+
+func specs(n int, w float64) []FlowSpec {
+	out := make([]FlowSpec, n)
+	for i := range out {
+		out[i] = FlowSpec{Alg: &fixedCC{w: w}, Workload: workload.AlwaysOn{}}
+	}
+	return out
+}
+
+func TestDumbbellMinRTT(t *testing.T) {
+	nw := Dumbbell(100*units.Mbps, 150*units.Millisecond, queue.NewInfinite(), specs(1, 1))
+	sts := nw.Run(5 * units.Second)
+	// Window 1: delay is one-way propagation (75 ms) plus negligible
+	// serialization.
+	if d := sts[0].AvgDelay(); d < 75*units.Millisecond || d > 77*units.Millisecond {
+		t.Fatalf("one-way delay = %v, want ~75ms", d)
+	}
+	if sts[0].MinRTT != 150*units.Millisecond {
+		t.Fatalf("MinRTT = %v", sts[0].MinRTT)
+	}
+}
+
+func TestDumbbellSharesBottleneck(t *testing.T) {
+	// Window 100 per flow vs an 84-packet BDP: the link saturates
+	// without the giant synchronized bursts that would trick the RTO
+	// (four flows dumping 400 packets at t=0 serializes the FIFO into
+	// per-flow blocks and starves each flow of ACKs for seconds).
+	nw := Dumbbell(10*units.Mbps, 100*units.Millisecond, queue.NewInfinite(), specs(4, 100))
+	sts := nw.Run(20 * units.Second)
+	total := 0.0
+	for _, st := range sts {
+		total += float64(st.Throughput())
+	}
+	if math.Abs(total-10e6)/10e6 > 0.05 {
+		t.Fatalf("combined throughput = %.0f, want ~10e6", total)
+	}
+}
+
+func TestDumbbellValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Dumbbell(units.Mbps, units.Millisecond, queue.NewInfinite(), nil) },
+		func() { Dumbbell(units.Mbps, 0, queue.NewInfinite(), specs(1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParkingLotRoutes(t *testing.T) {
+	q1, q2 := queue.NewInfinite(), queue.NewInfinite()
+	nw := ParkingLot(10*units.Mbps, 10*units.Mbps, 75*units.Millisecond, q1, q2, specs(3, 2))
+	sts := nw.Run(10 * units.Second)
+	// Flow 0 crosses both hops: one-way prop 150 ms; flows 1 and 2 one
+	// hop: 75 ms.
+	if d := sts[0].AvgDelay(); d < 150*units.Millisecond || d > 155*units.Millisecond {
+		t.Fatalf("flow 0 delay = %v, want ~150ms", d)
+	}
+	for _, i := range []int{1, 2} {
+		if d := sts[i].AvgDelay(); d < 75*units.Millisecond || d > 80*units.Millisecond {
+			t.Fatalf("flow %d delay = %v, want ~75ms", i, d)
+		}
+	}
+	if sts[0].MinRTT != 300*units.Millisecond || sts[1].MinRTT != 150*units.Millisecond {
+		t.Fatalf("minRTTs = %v, %v", sts[0].MinRTT, sts[1].MinRTT)
+	}
+	// All flows moved traffic through the right places.
+	for i, st := range sts {
+		if st.DeliveredBytes == 0 {
+			t.Fatalf("flow %d delivered nothing", i)
+		}
+	}
+}
+
+func TestParkingLotBottleneckContention(t *testing.T) {
+	// Saturating windows: each link carries two flows; flow 0 shares
+	// both. With equal links and FIFO service, flow 0 gets less than
+	// the single-hop flows (it pays at both bottlenecks).
+	q1, q2 := queue.NewDropTail(50*1500), queue.NewDropTail(50*1500)
+	nw := ParkingLot(10*units.Mbps, 10*units.Mbps, 75*units.Millisecond, q1, q2, specs(3, 100))
+	sts := nw.Run(30 * units.Second)
+	t0 := float64(sts[0].Throughput())
+	t1 := float64(sts[1].Throughput())
+	t2 := float64(sts[2].Throughput())
+	if t0 >= t1 || t0 >= t2 {
+		t.Fatalf("long flow (%.0f) should get less than short flows (%.0f, %.0f)", t0, t1, t2)
+	}
+	// Each link carries most of its capacity as goodput (fixed windows
+	// never back off, so sustained loss costs some efficiency).
+	if (t0+t1) < 0.7*10e6 || (t0+t2) < 0.7*10e6 {
+		t.Fatalf("links badly underutilized: %v %v", t0+t1, t0+t2)
+	}
+}
+
+func TestParkingLotValidation(t *testing.T) {
+	q := queue.NewInfinite()
+	for _, fn := range []func(){
+		func() { ParkingLot(units.Mbps, units.Mbps, 75*units.Millisecond, q, q, specs(2, 1)) },
+		func() { ParkingLot(units.Mbps, units.Mbps, 0, q, q, specs(3, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQueueSpecBuild(t *testing.T) {
+	if _, ok := (QueueSpec{Kind: DropTail, CapBytes: 1500}).Build().(*queue.DropTail); !ok {
+		t.Fatal("DropTail spec built wrong type")
+	}
+	if _, ok := (QueueSpec{Kind: Infinite}).Build().(*queue.Infinite); !ok {
+		t.Fatal("Infinite spec built wrong type")
+	}
+	if _, ok := (QueueSpec{Kind: SFQCoDel, CapBytes: 15000}).Build().(*queue.SFQCoDel); !ok {
+		t.Fatal("SFQCoDel spec built wrong type")
+	}
+}
+
+func TestQueueKindString(t *testing.T) {
+	for k, want := range map[QueueKind]string{
+		DropTail: "droptail", Infinite: "infinite", SFQCoDel: "sfqcodel", QueueKind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

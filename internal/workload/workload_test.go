@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"learnability/internal/rng"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+func TestOnOffAlternates(t *testing.T) {
+	s := sim.New()
+	w := NewOnOff(units.Second, units.Second, rng.New(1))
+	var states []bool
+	w.Start(s, func(on bool) { states = append(states, on) })
+	s.Run(units.Time(60 * units.Second))
+	if len(states) < 10 {
+		t.Fatalf("only %d transitions in 60s with 1s means", len(states))
+	}
+	if states[0] != false {
+		t.Fatal("OnOff must start off")
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i] == states[i-1] {
+			t.Fatalf("transition %d did not alternate", i)
+		}
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	// Mean on 5 s, mean off 10 ms: duty cycle ~ 99.8%.
+	s := sim.New()
+	w := NewOnOff(5*units.Second, 10*units.Millisecond, rng.New(2))
+	var onTime units.Duration
+	var since units.Time
+	on := false
+	w.Start(s, func(o bool) {
+		now := s.Now()
+		if on {
+			onTime += now.Sub(since)
+		}
+		on = o
+		since = now
+	})
+	end := s.Run(units.Time(2000 * units.Second))
+	if on {
+		onTime += end.Sub(since)
+	}
+	duty := onTime.Seconds() / end.Seconds()
+	if math.Abs(duty-5.0/5.010) > 0.01 {
+		t.Fatalf("duty cycle = %.4f, want ~0.998", duty)
+	}
+}
+
+func TestOnOffMeanDurations(t *testing.T) {
+	s := sim.New()
+	w := NewOnOff(units.Second, 2*units.Second, rng.New(3))
+	var onStart units.Time
+	var onDur, offDur []float64
+	var offStart units.Time
+	w.Start(s, func(on bool) {
+		now := s.Now()
+		if on {
+			onStart = now
+			if now > 0 {
+				offDur = append(offDur, now.Sub(offStart).Seconds())
+			}
+		} else {
+			offStart = now
+			if now > 0 {
+				onDur = append(onDur, now.Sub(onStart).Seconds())
+			}
+		}
+	})
+	s.Run(units.Time(5000 * units.Second))
+	mean := func(xs []float64) float64 {
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+	if len(onDur) < 300 {
+		t.Fatalf("too few on periods: %d", len(onDur))
+	}
+	if m := mean(onDur); math.Abs(m-1) > 0.15 {
+		t.Fatalf("mean on duration = %.3f, want ~1", m)
+	}
+	if m := mean(offDur); math.Abs(m-2) > 0.3 {
+		t.Fatalf("mean off duration = %.3f, want ~2", m)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewOnOff(0, units.Second, rng.New(1)) },
+		func() { NewOnOff(units.Second, 0, rng.New(1)) },
+		func() { NewOnOff(units.Second, units.Second, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAlwaysOn(t *testing.T) {
+	s := sim.New()
+	var states []bool
+	AlwaysOn{}.Start(s, func(on bool) { states = append(states, on) })
+	s.Run(units.Time(units.Second))
+	if len(states) != 1 || !states[0] {
+		t.Fatalf("states = %v", states)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	s := sim.New()
+	w := &Deterministic{
+		InitialOn: false,
+		Transitions: []Transition{
+			{At: units.Time(10 * units.Second), On: false},
+			{At: units.Time(5 * units.Second), On: true}, // out of order on purpose
+		},
+	}
+	type ev struct {
+		at units.Time
+		on bool
+	}
+	var evs []ev
+	w.Start(s, func(on bool) { evs = append(evs, ev{s.Now(), on}) })
+	s.Run(units.Time(15 * units.Second))
+	want := []ev{
+		{0, false},
+		{units.Time(5 * units.Second), true},
+		{units.Time(10 * units.Second), false},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("evs = %v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("evs[%d] = %v, want %v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicDoesNotMutateInput(t *testing.T) {
+	trs := []Transition{
+		{At: units.Time(2 * units.Second), On: true},
+		{At: units.Time(1 * units.Second), On: false},
+	}
+	w := &Deterministic{Transitions: trs}
+	s := sim.New()
+	w.Start(s, func(bool) {})
+	if trs[0].At != units.Time(2*units.Second) {
+		t.Fatal("Start reordered the caller's slice")
+	}
+}

@@ -1,0 +1,197 @@
+// Package learnability reproduces "An Experimental Study of the
+// Learnability of Congestion Control" (Sivaraman, Winstein, Thaker,
+// Balakrishnan; SIGCOMM 2014) in pure Go: a packet-level network
+// simulator, the Remy protocol-design tool and the Tao protocols it
+// synthesizes, the TCP baselines (NewReno, Cubic, Vegas) and the
+// sfqCoDel gateway discipline, the omniscient proportionally fair
+// reference, and runners for every experiment in the paper's
+// evaluation.
+//
+// This file is the public facade: it re-exports the pieces a user
+// needs to train protocols, run scenarios, and regenerate the paper's
+// figures. The implementation lives under internal/ (see DESIGN.md for
+// the module map).
+//
+// Quick start:
+//
+//	tr := &learnability.Trainer{Cfg: learnability.TrainConfig{
+//		LinkSpeedMin: 10 * learnability.Mbps,
+//		LinkSpeedMax: 100 * learnability.Mbps,
+//		MinRTTMin:    150 * learnability.Millisecond,
+//		MinRTTMax:    150 * learnability.Millisecond,
+//		SendersMin:   2, SendersMax: 2,
+//		MeanOn:       learnability.Second,
+//		MeanOff:      learnability.Second,
+//		BufferBDP:    5,
+//		Delta:        1,
+//	}}
+//	tao := tr.Train(learnability.DefaultTrainBudget())
+//	res := learnability.RunCalibration(learnability.QuickEffort(), nil)
+//	fmt.Println(res.Table())
+package learnability
+
+import (
+	"learnability/internal/cc"
+	"learnability/internal/cc/cubic"
+	"learnability/internal/cc/newreno"
+	"learnability/internal/cc/remycc"
+	"learnability/internal/cc/vegas"
+	"learnability/internal/core"
+	"learnability/internal/remy"
+	"learnability/internal/rng"
+	"learnability/internal/scenario"
+	"learnability/internal/units"
+)
+
+// Physical quantities.
+type (
+	// Time is a point in simulated time (nanoseconds).
+	Time = units.Time
+	// Duration is a span of simulated time (nanoseconds).
+	Duration = units.Duration
+	// Rate is a data rate in bits per second.
+	Rate = units.Rate
+)
+
+// Common units.
+const (
+	Millisecond = units.Millisecond
+	Second      = units.Second
+	Kbps        = units.Kbps
+	Mbps        = units.Mbps
+	Gbps        = units.Gbps
+)
+
+// Congestion control.
+type (
+	// Algorithm is a per-connection congestion controller (see
+	// internal/cc for the contract).
+	Algorithm = cc.Algorithm
+	// Feedback carries per-ACK congestion signals.
+	Feedback = cc.Feedback
+	// Tree is a trained Tao protocol's whisker tree (JSON-
+	// serializable).
+	Tree = remycc.Tree
+	// Action is one whisker's congestion response.
+	Action = remycc.Action
+	// SignalMask selects observable congestion signals (§3.4).
+	SignalMask = remycc.SignalMask
+)
+
+// NewRemyCC returns a controller executing a trained Tao protocol.
+func NewRemyCC(tree *Tree) Algorithm { return remycc.New(tree) }
+
+// NewRemyCCMasked returns a Tao controller observing only the signals
+// in mask.
+func NewRemyCCMasked(tree *Tree, mask SignalMask) Algorithm {
+	return remycc.NewMasked(tree, mask)
+}
+
+// NewCubic returns a TCP Cubic controller.
+func NewCubic() Algorithm { return cubic.New() }
+
+// NewNewReno returns a TCP NewReno controller.
+func NewNewReno() Algorithm { return newreno.New() }
+
+// NewVegas returns a TCP Vegas controller.
+func NewVegas() Algorithm { return vegas.New() }
+
+// AllSignals enables all four congestion signals.
+func AllSignals() SignalMask { return remycc.AllSignals() }
+
+// NewWhiskerTree returns the untrained single-whisker tree.
+func NewWhiskerTree() *Tree { return remycc.NewTree() }
+
+// TaoSignals reports the four congestion signals currently tracked by
+// a Tao controller created with NewRemyCC/NewRemyCCMasked, in the
+// paper's order (rec_ewma, slow_rec_ewma, send_ewma in seconds;
+// rtt_ratio dimensionless). ok is false if alg is not a Tao.
+func TaoSignals(alg Algorithm) (signals [4]float64, ok bool) {
+	r, ok := alg.(*remycc.RemyCC)
+	if !ok {
+		return signals, false
+	}
+	return r.LastVector(), true
+}
+
+// Training (the Remy protocol-design tool).
+type (
+	// TrainConfig describes a training-scenario distribution (§3.1).
+	TrainConfig = remy.Config
+	// Trainer runs the Remy search.
+	Trainer = remy.Trainer
+	// TrainBudget bounds the search effort.
+	TrainBudget = remy.Budget
+)
+
+// DefaultTrainBudget is a laptop-scale training budget.
+func DefaultTrainBudget() TrainBudget { return remy.DefaultBudget() }
+
+// Scenario execution.
+type (
+	// Spec is one concrete network configuration (§3.1).
+	Spec = scenario.Spec
+	// SpecSender describes one endpoint in a Spec.
+	SpecSender = scenario.Sender
+	// Result is one flow's outcome.
+	Result = scenario.Result
+	// Topology selects the network shape.
+	Topology = scenario.Topology
+	// Buffering selects the gateway queue.
+	Buffering = scenario.Buffering
+)
+
+// Topologies and gateway queues.
+const (
+	DumbbellTopology   = scenario.Dumbbell
+	ParkingLotTopology = scenario.ParkingLot
+
+	FiniteDropTail = scenario.FiniteDropTail
+	NoDrop         = scenario.NoDrop
+	SfqCoDel       = scenario.SfqCoDel
+)
+
+// RunScenario executes a scenario and returns per-flow results.
+func RunScenario(spec Spec) []Result { return scenario.Run(spec) }
+
+// NewSeed returns a deterministic random stream for Spec.Seed.
+func NewSeed(seed uint64) *rng.Stream { return rng.New(seed) }
+
+// Experiments (one per table/figure; see DESIGN.md §4).
+type (
+	// Effort scales experiment fidelity.
+	Effort = core.Effort
+
+	CalibrationResult  = core.CalibrationResult
+	LinkSpeedResult    = core.LinkSpeedResult
+	MultiplexingResult = core.MultiplexingResult
+	PropDelayResult    = core.PropDelayResult
+	StructureResult    = core.StructureResult
+	TCPAwareResult     = core.TCPAwareResult
+	TimeDomainResult   = core.TimeDomainResult
+	DiversityResult    = core.DiversityResult
+	KnockoutResult     = core.KnockoutResult
+	VegasResult        = core.VegasResult
+	UnifiedResult      = core.UnifiedResult
+)
+
+// DefaultEffort is workstation-scale fidelity.
+func DefaultEffort() Effort { return core.DefaultEffort() }
+
+// QuickEffort is smoke-test fidelity.
+func QuickEffort() Effort { return core.QuickEffort() }
+
+// The experiment runners. log may be nil.
+var (
+	RunCalibration  = core.RunCalibration
+	RunLinkSpeed    = core.RunLinkSpeed
+	RunMultiplexing = core.RunMultiplexing
+	RunPropDelay    = core.RunPropDelay
+	RunStructure    = core.RunStructure
+	RunTCPAware     = core.RunTCPAware
+	RunTimeDomain   = core.RunTimeDomain
+	RunDiversity    = core.RunDiversity
+	RunKnockout     = core.RunKnockout
+	RunVegasSqueeze = core.RunVegasSqueeze
+	RunUnified      = core.RunUnified
+)

@@ -1,0 +1,132 @@
+package learnability_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"learnability"
+)
+
+func TestFacadeUnits(t *testing.T) {
+	if learnability.Second != 1000*learnability.Millisecond {
+		t.Fatal("time unit relationships broken")
+	}
+	if learnability.Gbps != 1000*learnability.Mbps || learnability.Mbps != 1000*learnability.Kbps {
+		t.Fatal("rate unit relationships broken")
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	algs := map[string]learnability.Algorithm{
+		"cubic":   learnability.NewCubic(),
+		"newreno": learnability.NewNewReno(),
+		"vegas":   learnability.NewVegas(),
+		"remycc":  learnability.NewRemyCC(learnability.NewWhiskerTree()),
+		"masked":  learnability.NewRemyCCMasked(learnability.NewWhiskerTree(), learnability.AllSignals()),
+	}
+	for name, a := range algs {
+		a.Reset(0)
+		if a.Window() < 1 {
+			t.Errorf("%s: initial window %v < 1", name, a.Window())
+		}
+	}
+}
+
+func TestFacadeScenarioRun(t *testing.T) {
+	spec := learnability.Spec{
+		Topology:  learnability.DumbbellTopology,
+		LinkSpeed: 10 * learnability.Mbps,
+		MinRTT:    100 * learnability.Millisecond,
+		Buffering: learnability.FiniteDropTail,
+		BufferBDP: 5,
+		MeanOn:    learnability.Second,
+		MeanOff:   learnability.Second,
+		Duration:  10 * learnability.Second,
+		Seed:      learnability.NewSeed(1),
+		Senders: []learnability.SpecSender{
+			{Alg: learnability.NewCubic(), Delta: 1},
+			{Alg: learnability.NewNewReno(), Delta: 1},
+		},
+	}
+	results := learnability.RunScenario(spec)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	total := 0.0
+	for _, r := range results {
+		total += float64(r.Throughput)
+		if r.Delay < r.MinRTT/2 {
+			t.Errorf("flow %d delay %v below one-way propagation", r.Flow, r.Delay)
+		}
+	}
+	// Throughput normalizes by on-time, so a flow draining its standing
+	// queue during an off period can exceed the link rate slightly;
+	// allow 25% headroom.
+	if total <= 0 || total > 12.5e6 {
+		t.Fatalf("combined throughput %v out of range", total)
+	}
+}
+
+func TestFacadeTreeJSON(t *testing.T) {
+	tree := learnability.NewWhiskerTree()
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back learnability.Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tree.Len() {
+		t.Fatal("round trip changed tree size")
+	}
+}
+
+func TestFacadeTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr := &learnability.Trainer{
+		Cfg: learnability.TrainConfig{
+			Topology:     learnability.DumbbellTopology,
+			LinkSpeedMin: 8 * learnability.Mbps,
+			LinkSpeedMax: 12 * learnability.Mbps,
+			MinRTTMin:    100 * learnability.Millisecond,
+			MinRTTMax:    100 * learnability.Millisecond,
+			SendersMin:   2,
+			SendersMax:   2,
+			MeanOn:       learnability.Second,
+			MeanOff:      learnability.Second,
+			Buffering:    learnability.FiniteDropTail,
+			BufferBDP:    5,
+			Delta:        1,
+			Duration:     6 * learnability.Second,
+			Replicas:     2,
+		},
+		Seed: 5,
+	}
+	tree := tr.Train(learnability.TrainBudget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2})
+	if tree.Len() < 1 {
+		t.Fatal("training produced an empty tree")
+	}
+	// The trained protocol must drive traffic.
+	spec := learnability.Spec{
+		Topology:  learnability.DumbbellTopology,
+		LinkSpeed: 10 * learnability.Mbps,
+		MinRTT:    100 * learnability.Millisecond,
+		Buffering: learnability.FiniteDropTail,
+		BufferBDP: 5,
+		MeanOn:    learnability.Second,
+		MeanOff:   learnability.Second,
+		Duration:  15 * learnability.Second,
+		Seed:      learnability.NewSeed(2),
+		Senders: []learnability.SpecSender{
+			{Alg: learnability.NewRemyCC(tree), Delta: 1},
+			{Alg: learnability.NewRemyCC(tree), Delta: 1},
+		},
+	}
+	results := learnability.RunScenario(spec)
+	if float64(results[0].Throughput)+float64(results[1].Throughput) <= 0 {
+		t.Fatal("trained Tao moved no traffic")
+	}
+}

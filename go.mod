@@ -1,0 +1,3 @@
+module learnability
+
+go 1.22

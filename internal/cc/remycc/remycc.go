@@ -31,6 +31,23 @@ func NewUsageStats(n int) *UsageStats {
 	return &UsageStats{Count: make([]int64, n), Sum: make([][NumSignals]float64, n)}
 }
 
+// Reset resizes u for a tree of n whiskers and zeroes all accumulators,
+// reusing the existing backing arrays when they are large enough. The
+// trainer recycles UsageStats buffers across candidate evaluations.
+func (u *UsageStats) Reset(n int) {
+	if cap(u.Count) < n {
+		u.Count = make([]int64, n)
+		u.Sum = make([][NumSignals]float64, n)
+		return
+	}
+	u.Count = u.Count[:n]
+	u.Sum = u.Sum[:n]
+	for i := range u.Count {
+		u.Count[i] = 0
+		u.Sum[i] = [NumSignals]float64{}
+	}
+}
+
 // Merge adds other into u (whisker counts must match).
 func (u *UsageStats) Merge(other *UsageStats) {
 	for i := range other.Count {
@@ -77,6 +94,11 @@ type RemyCC struct {
 	cwnd   float64
 	pace   units.Duration
 
+	// lastWhisker caches the previous lookup's whisker: consecutive
+	// ACKs almost always land in the same memory region, so the cache
+	// short-circuits the tree search on the per-ACK hot path.
+	lastWhisker int
+
 	usage *UsageStats // nil outside training
 }
 
@@ -110,7 +132,8 @@ func (r *RemyCC) LastVector() Vector { return r.memory.Vector() }
 func (r *RemyCC) Reset(units.Time) {
 	r.memory.Reset()
 	r.cwnd = initialWindow
-	a := r.tree.Action(r.tree.Lookup(r.memory.Vector()))
+	r.lastWhisker = r.tree.Lookup(r.memory.Vector())
+	a := r.tree.Action(r.lastWhisker)
 	r.pace = units.DurationFromSeconds(a.Intersend)
 }
 
@@ -118,7 +141,8 @@ func (r *RemyCC) Reset(units.Time) {
 func (r *RemyCC) OnACK(_ units.Time, fb cc.Feedback) {
 	r.memory.Observe(fb)
 	v := r.memory.Vector()
-	i := r.tree.Lookup(v)
+	i := r.tree.LookupCached(v, r.lastWhisker)
+	r.lastWhisker = i
 	if r.usage != nil {
 		r.usage.Count[i]++
 		for d := 0; d < NumSignals; d++ {

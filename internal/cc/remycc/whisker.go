@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Action is the congestion response attached to a whisker (§3.5): when
@@ -102,24 +103,111 @@ type Whisker struct {
 // the overall structure (memory definition + mapping + action
 // semantics) a Tao protocol; Tree is its learned component.
 //
-// Lookup is a linear scan: trained trees in this repository stay small
-// (tens of whiskers), and a scan keeps serialization and splitting
-// trivial. Trees are immutable after construction; the trainer builds
-// modified copies.
+// Lookup narrows candidates through a first-dimension sorted index
+// (built at construction; trees are immutable) and scans the surviving
+// bucket. Because the whiskers partition memory space, any search order
+// returns the same unique whisker, so the index cannot change results.
+// Trees built as bare literals (no index) fall back to a full linear
+// scan. The trainer builds modified copies rather than mutating.
 type Tree struct {
 	Whiskers []Whisker `json:"whiskers"`
+
+	// idx accelerates Lookup: cuts is the ascending list of whisker
+	// boundaries along the first dimension (including the domain edges)
+	// and buckets[k] lists the whiskers overlapping [cuts[k], cuts[k+1]).
+	idx *treeIndex
+}
+
+type treeIndex struct {
+	cuts    []float64
+	buckets [][]int32
+}
+
+// buildIndex constructs the first-dimension interval index. It is
+// called by every Tree constructor; lookups on an unindexed tree fall
+// back to the linear scan.
+func (t *Tree) buildIndex() {
+	if len(t.Whiskers) == 0 {
+		t.idx = nil
+		return
+	}
+	cuts := make([]float64, 0, 2*len(t.Whiskers))
+	for i := range t.Whiskers {
+		cuts = append(cuts, t.Whiskers[i].Domain.Lo[0], t.Whiskers[i].Domain.Hi[0])
+	}
+	sort.Float64s(cuts)
+	uniq := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	if len(uniq) < 2 {
+		t.idx = nil
+		return
+	}
+	buckets := make([][]int32, len(uniq)-1)
+	for k := range buckets {
+		lo, hi := uniq[k], uniq[k+1]
+		for i := range t.Whiskers {
+			d := &t.Whiskers[i].Domain
+			if d.Lo[0] <= lo && d.Hi[0] >= hi {
+				buckets[k] = append(buckets[k], int32(i))
+			}
+		}
+	}
+	t.idx = &treeIndex{cuts: uniq, buckets: buckets}
 }
 
 // NewTree returns the initial single-whisker tree mapping the whole
 // domain to the default action.
 func NewTree() *Tree {
-	return &Tree{Whiskers: []Whisker{{Domain: FullDomain(), Action: DefaultAction()}}}
+	t := &Tree{Whiskers: []Whisker{{Domain: FullDomain(), Action: DefaultAction()}}}
+	t.buildIndex()
+	return t
 }
 
 // Lookup returns the index of the whisker containing v (after clamping
 // into the domain). It panics if the partition invariant is broken.
 func (t *Tree) Lookup(v Vector) int {
+	return t.lookupClamped(v.Clamp())
+}
+
+// LookupCached returns the index of the whisker containing v, checking
+// hint (the previous lookup's result) first. ACK streams are highly
+// local in memory space, so the hint hits on the vast majority of
+// per-ACK lookups. A hint out of range is ignored.
+func (t *Tree) LookupCached(v Vector, hint int) int {
 	v = v.Clamp()
+	if hint >= 0 && hint < len(t.Whiskers) && t.Whiskers[hint].Domain.Contains(v) {
+		return hint
+	}
+	return t.lookupClamped(v)
+}
+
+func (t *Tree) lookupClamped(v Vector) int {
+	if t.idx != nil {
+		k := sort.SearchFloat64s(t.idx.cuts, v[0])
+		// SearchFloat64s returns the first cut >= v[0]; map that to the
+		// interval [cuts[k-1], cuts[k]) unless v[0] is exactly a cut, in
+		// which case it starts the next interval. The top domain edge
+		// belongs to the last interval.
+		if k == len(t.idx.cuts) || t.idx.cuts[k] != v[0] {
+			k--
+		}
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(t.idx.buckets) {
+			k = len(t.idx.buckets) - 1
+		}
+		for _, wi := range t.idx.buckets[k] {
+			if t.Whiskers[wi].Domain.Contains(v) {
+				return int(wi)
+			}
+		}
+		panic(fmt.Sprintf("remycc: no whisker contains %v; tree partition broken", v))
+	}
 	for i := range t.Whiskers {
 		if t.Whiskers[i].Domain.Contains(v) {
 			return i
@@ -138,7 +226,9 @@ func (t *Tree) Len() int { return len(t.Whiskers) }
 func (t *Tree) Clone() *Tree {
 	w := make([]Whisker, len(t.Whiskers))
 	copy(w, t.Whiskers)
-	return &Tree{Whiskers: w}
+	nt := &Tree{Whiskers: w}
+	nt.buildIndex()
+	return nt
 }
 
 // WithAction returns a copy of the tree with whisker i's action
@@ -183,6 +273,7 @@ func (t *Tree) Split(i int, at Vector, dims []Signal) (nt *Tree, ok bool) {
 		nt.Whiskers = append(nt.Whiskers, Whisker{Domain: b, Action: parent.Action})
 	}
 	nt.Whiskers = append(nt.Whiskers, t.Whiskers[i+1:]...)
+	nt.buildIndex()
 	return nt, true
 }
 
@@ -241,5 +332,9 @@ func (t *Tree) UnmarshalJSON(b []byte) error {
 		}
 		t.Whiskers[i].Action = a.Clamp()
 	}
-	return t.Validate()
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	t.buildIndex()
+	return nil
 }

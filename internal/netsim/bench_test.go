@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"testing"
+
+	"learnability/internal/packet"
+	"learnability/internal/queue"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// refeed recirculates every packet leaving the link back into it, so a
+// small set of pooled packets keeps the link saturated forever.
+type refeed struct{ l *Link }
+
+func (r refeed) Deliver(now units.Time, p *packet.Packet) { r.l.Deliver(now, p) }
+
+// BenchmarkLinkSaturation measures the per-event cost of a saturated
+// link: queue, serializer, and propagation pipeline all busy. One op is
+// one scheduler event (serialization-done or propagation-arrival). The
+// interesting number is allocs/op, which must stay at zero.
+func BenchmarkLinkSaturation(b *testing.B) {
+	sched := sim.New()
+	pool := &packet.Pool{}
+	q := queue.NewDropTail(64 * packet.MTU)
+	l := NewLink(sched, units.Gbps, 20*units.Microsecond, q)
+	l.SetPool(pool)
+	l.SetRoute(func(int) Deliverer { return refeed{l} })
+	for i := 0; i < 16; i++ {
+		l.Deliver(sched.Now(), pool.Data(0, int64(i), sched.Now()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sched.Step() {
+			b.Fatal("link went idle")
+		}
+	}
+}
+
+// BenchmarkFlowPath measures the full per-packet round trip: sender ->
+// queue -> link -> receiver -> delayed ACK -> sender, with a fixed
+// window so the flow stays in equilibrium.
+func BenchmarkFlowPath(b *testing.B) {
+	sched := sim.New()
+	pool := &packet.Pool{}
+	q := queue.NewDropTail(256 * packet.MTU)
+	l := NewLink(sched, 100*units.Mbps, 5*units.Millisecond, q)
+	l.SetPool(pool)
+	st := &FlowStats{Flow: 0, PropDelay: 5 * units.Millisecond, MinRTT: 10 * units.Millisecond}
+	rcv := NewReceiver(sched, 0, 5*units.Millisecond, st)
+	snd := NewSender(sched, 0, &fixedCC{w: 32}, l, st)
+	rcv.SetSender(snd)
+	rcv.SetPool(pool)
+	snd.SetPool(pool)
+	l.SetRoute(func(int) Deliverer { return rcv })
+	snd.SetOn(0, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sched.Step() {
+			b.Fatal("simulation drained")
+		}
+	}
+}

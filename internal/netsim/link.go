@@ -26,6 +26,13 @@ type Route func(flow int) Deliverer
 // serializer of fixed rate, followed by a fixed propagation delay.
 // Packets leaving the link are handed to the Deliverer chosen by the
 // link's Route.
+//
+// The transmit path is allocation-free: the serialization-done and
+// propagation-arrival callbacks are bound once at construction,
+// transmission times for the two packet sizes that exist in this
+// repository are precomputed, and packets in propagation ride a reused
+// FIFO ring (they arrive in serialization order because the propagation
+// delay is constant).
 type Link struct {
 	sched *sim.Scheduler
 	rate  units.Rate
@@ -33,6 +40,19 @@ type Link struct {
 	q     queue.Discipline
 	route Route
 	busy  bool
+
+	pool *packet.Pool // optional; recycles packets rejected at enqueue
+
+	txMTU units.Duration // precomputed serialization time of a data packet
+	txACK units.Duration // precomputed serialization time of an ACK
+
+	txPkt *packet.Packet // packet currently being serialized
+
+	// propQ holds packets in propagation, in arrival order.
+	propQ pktRing
+
+	txDoneFn func()
+	arriveFn func()
 }
 
 // NewLink creates a link. The route must be set with SetRoute before
@@ -47,11 +67,32 @@ func NewLink(sched *sim.Scheduler, rate units.Rate, prop units.Duration, q queue
 	if q == nil {
 		panic("netsim: link with nil queue")
 	}
-	return &Link{sched: sched, rate: rate, prop: prop, q: q}
+	l := &Link{
+		sched: sched,
+		rate:  rate,
+		prop:  prop,
+		q:     q,
+		txMTU: rate.TransmissionTime(packet.MTU),
+		txACK: rate.TransmissionTime(packet.ACKSize),
+	}
+	l.txDoneFn = l.txDone
+	l.arriveFn = l.arrive
+	return l
 }
 
 // SetRoute installs the per-flow next-hop function.
 func (l *Link) SetRoute(r Route) { l.route = r }
+
+// SetPool attaches the simulation's packet pool, letting the link
+// recycle packets its queue rejects at enqueue. The pool is forwarded
+// to the queueing discipline so drops of already-accepted packets
+// (AQM dequeue drops, fair-queueing victim evictions) recycle too.
+func (l *Link) SetPool(p *packet.Pool) {
+	l.pool = p
+	if pa, ok := l.q.(queue.PoolAware); ok {
+		pa.SetPool(p)
+	}
+}
 
 // Queue exposes the link's queueing discipline (for sampling occupancy
 // and reading drop statistics).
@@ -63,10 +104,24 @@ func (l *Link) Rate() units.Rate { return l.rate }
 // Prop reports the link's one-way propagation delay.
 func (l *Link) Prop() units.Duration { return l.prop }
 
+// txTime reports the serialization time of a packet of the given size.
+func (l *Link) txTime(size int) units.Duration {
+	switch size {
+	case packet.MTU:
+		return l.txMTU
+	case packet.ACKSize:
+		return l.txACK
+	}
+	return l.rate.TransmissionTime(size)
+}
+
 // Deliver implements Deliverer: a packet arrives at the link's ingress
-// queue.
+// queue. Packets the queue rejects are returned to the pool (after the
+// queue's drop accounting and recorder have run).
 func (l *Link) Deliver(now units.Time, p *packet.Packet) {
-	l.q.Enqueue(now, p)
+	if !l.q.Enqueue(now, p) {
+		l.pool.Put(p)
+	}
 	l.kick(now)
 }
 
@@ -80,14 +135,28 @@ func (l *Link) kick(now units.Time) {
 		return
 	}
 	l.busy = true
-	tx := l.rate.TransmissionTime(p.Size)
-	l.sched.After(tx, func() {
-		l.busy = false
-		// Propagation happens in parallel with the next serialization.
-		l.sched.After(l.prop, func() {
-			next := l.route(p.Flow)
-			next.Deliver(l.sched.Now(), p)
-		})
-		l.kick(l.sched.Now())
-	})
+	l.txPkt = p
+	l.sched.After(l.txTime(p.Size), l.txDoneFn)
+}
+
+// txDone fires when the serializer finishes a packet: the packet enters
+// propagation (in parallel with the next serialization) and the link
+// kicks the queue again.
+func (l *Link) txDone() {
+	now := l.sched.Now()
+	p := l.txPkt
+	l.txPkt = nil
+	l.busy = false
+	l.propQ.push(p)
+	l.sched.After(l.prop, l.arriveFn)
+	l.kick(now)
+}
+
+// arrive fires when the head packet in propagation reaches the far end.
+// Arrival events are scheduled once per packet and packets propagate in
+// FIFO order, so the head is always the arriving packet.
+func (l *Link) arrive() {
+	p := l.propQ.pop()
+	next := l.route(p.Flow)
+	next.Deliver(l.sched.Now(), p)
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"learnability/internal/packet"
 	"learnability/internal/sim"
 	"learnability/internal/units"
 	"learnability/internal/workload"
@@ -22,18 +23,37 @@ type Network struct {
 	Sched *sim.Scheduler
 	Links []*Link
 	Flows []*Flow
+
+	// Pool recycles packets across the network's lifetime. Topology
+	// builders wire it into every sender, receiver, and link; the
+	// network runs on one goroutine, so the pool is unsynchronized.
+	Pool *packet.Pool
 }
 
 // New returns an empty network on a fresh scheduler.
 func New() *Network {
-	return &Network{Sched: sim.New()}
+	return &Network{Sched: sim.New(), Pool: &packet.Pool{}}
 }
 
-// AddFlow registers a flow.
-func (n *Network) AddFlow(f *Flow) { n.Flows = append(n.Flows, f) }
+// AddFlow registers a flow, wiring the network's packet pool into its
+// endpoints so topology builders cannot silently leave a component
+// allocating per packet.
+func (n *Network) AddFlow(f *Flow) {
+	if f.Sender != nil {
+		f.Sender.SetPool(n.Pool)
+	}
+	if f.Receiver != nil {
+		f.Receiver.SetPool(n.Pool)
+	}
+	n.Flows = append(n.Flows, f)
+}
 
-// AddLink registers a link.
-func (n *Network) AddLink(l *Link) { n.Links = append(n.Links, l) }
+// AddLink registers a link, wiring in the network's packet pool (and,
+// through the link, its queueing discipline).
+func (n *Network) AddLink(l *Link) {
+	l.SetPool(n.Pool)
+	n.Links = append(n.Links, l)
+}
 
 // Sample schedules fn to run every interval from time 0 until the end
 // of the run (used to record queue-occupancy time series).

@@ -10,21 +10,32 @@ import (
 // returns one cumulative ACK per arriving data packet. ACKs travel back
 // over a delay-only reverse path (the paper's dumbbell and parking-lot
 // reverse paths are uncongested; see DESIGN.md substitution #5).
+//
+// The ACK path is allocation-free when a pool is attached: the data
+// packet is recycled as soon as its ACK is built, pending ACKs ride a
+// reused FIFO ring (the reverse-path delay is constant, so they arrive
+// in order), the delivery callback is bound once, and the ACK itself is
+// recycled after the sender has processed it.
 type Receiver struct {
 	sched    *sim.Scheduler
 	flow     int
 	sender   *Sender
 	ackDelay units.Duration
 	stats    *FlowStats
+	pool     *packet.Pool
 
 	cum int64 // highest in-order sequence received; -1 initially
 	ooo map[int64]bool
+
+	// ackQ holds ACKs in flight on the reverse path, in arrival order.
+	ackQ      pktRing
+	deliverFn func()
 }
 
 // NewReceiver creates a receiver for the given flow whose ACKs reach
 // sender after ackDelay.
 func NewReceiver(sched *sim.Scheduler, flow int, ackDelay units.Duration, stats *FlowStats) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		sched:    sched,
 		flow:     flow,
 		ackDelay: ackDelay,
@@ -32,11 +43,17 @@ func NewReceiver(sched *sim.Scheduler, flow int, ackDelay units.Duration, stats 
 		cum:      -1,
 		ooo:      make(map[int64]bool),
 	}
+	r.deliverFn = r.deliverAck
+	return r
 }
 
 // SetSender wires the reverse path. It must be called before traffic
 // flows (topology builders do this).
 func (r *Receiver) SetSender(s *Sender) { r.sender = s }
+
+// SetPool attaches the simulation's packet pool, letting the receiver
+// recycle delivered data packets and consumed ACKs.
+func (r *Receiver) SetPool(p *packet.Pool) { r.pool = p }
 
 // Cum reports the highest in-order sequence number received so far
 // (-1 before any).
@@ -69,8 +86,17 @@ func (r *Receiver) Deliver(now units.Time, p *packet.Packet) {
 		// cumulative ack re-synchronizes the sender).
 	}
 
-	ack := packet.ACK(p, r.cum, now)
-	r.sched.After(r.ackDelay, func() {
-		r.sender.OnAck(r.sched.Now(), ack)
-	})
+	ack := r.pool.ACK(p, r.cum, now)
+	r.pool.Put(p) // data packet consumed
+	r.ackQ.push(ack)
+	r.sched.After(r.ackDelay, r.deliverFn)
+}
+
+// deliverAck fires when the head ACK on the reverse path reaches the
+// sender. One event is scheduled per ACK and the reverse-path delay is
+// constant, so the head is always the arriving ACK.
+func (r *Receiver) deliverAck() {
+	ack := r.ackQ.pop()
+	r.sender.OnAck(r.sched.Now(), ack)
+	r.pool.Put(ack)
 }

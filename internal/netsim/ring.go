@@ -1,0 +1,27 @@
+package netsim
+
+import "learnability/internal/packet"
+
+// pktRing is a reused FIFO of packets in flight on a fixed-delay stage
+// (a link's propagation pipeline, a receiver's reverse path). Because
+// the stage's delay is constant, packets leave in the order they
+// entered, so one ring plus one scheduler event per packet replaces a
+// closure per packet. The backing slice is recycled once drained, so
+// steady-state traffic performs no allocation.
+type pktRing struct {
+	buf  []*packet.Packet
+	head int
+}
+
+func (r *pktRing) push(p *packet.Packet) { r.buf = append(r.buf, p) }
+
+func (r *pktRing) pop() *packet.Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+	return p
+}

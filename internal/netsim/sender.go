@@ -38,6 +38,7 @@ type Sender struct {
 	alg    cc.Algorithm
 	egress Deliverer
 	stats  *FlowStats
+	pool   *packet.Pool
 
 	on bool
 
@@ -67,8 +68,13 @@ type Sender struct {
 	minRTT       units.Duration
 	rtoBackoff   int
 
-	rtoTimer  *sim.Timer
-	paceTimer *sim.Timer
+	rtoTimer  sim.Timer
+	paceTimer sim.Timer
+
+	// Pre-bound timer callbacks, allocated once per sender so arming a
+	// timer on the per-ACK path does not allocate a closure.
+	onTimeoutFn func()
+	paceFn      func()
 
 	// nextSendTime is the earliest time the next packet may leave,
 	// according to the algorithm's pacing interval.
@@ -84,7 +90,7 @@ func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Delivere
 	if egress == nil {
 		panic("netsim: sender with nil egress")
 	}
-	return &Sender{
+	s := &Sender{
 		sched:         sched,
 		flow:          flow,
 		alg:           alg,
@@ -96,7 +102,14 @@ func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Delivere
 		highestSacked: -1,
 		minRTT:        units.Duration(math.MaxInt64),
 	}
+	s.onTimeoutFn = func() { s.onTimeout(s.sched.Now()) }
+	s.paceFn = func() { s.trySend(s.sched.Now()) }
+	return s
 }
+
+// SetPool attaches the simulation's packet pool, from which outgoing
+// data packets are drawn.
+func (s *Sender) SetPool(p *packet.Pool) { s.pool = p }
 
 // Flow returns the sender's flow ID.
 func (s *Sender) Flow() int { return s.flow }
@@ -271,7 +284,7 @@ func (s *Sender) resetRTO(now units.Time) {
 	if s.Outstanding() <= 0 {
 		return
 	}
-	s.rtoTimer = s.sched.After(s.rto(), func() { s.onTimeout(s.sched.Now()) })
+	s.rtoTimer = s.sched.After(s.rto(), s.onTimeoutFn)
 }
 
 // onTimeout handles RTO expiry: collapse the window, treat everything
@@ -306,7 +319,7 @@ func (s *Sender) onTimeout(now units.Time) {
 
 // sendPacket emits one packet (new or retransmission).
 func (s *Sender) sendPacket(now units.Time, seq int64, isRetx bool) {
-	p := packet.DataPacket(s.flow, seq, now)
+	p := s.pool.Data(s.flow, seq, now)
 	p.Retransmit = isRetx
 	s.stats.SentPackets++
 	if isRetx {
@@ -365,7 +378,5 @@ func (s *Sender) schedulePace(now units.Time) {
 		return
 	}
 	s.paceTimer.Stop()
-	s.paceTimer = s.sched.At(s.nextSendTime, func() {
-		s.trySend(s.sched.Now())
-	})
+	s.paceTimer = s.sched.At(s.nextSendTime, s.paceFn)
 }

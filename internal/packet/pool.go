@@ -1,0 +1,92 @@
+package packet
+
+import "learnability/internal/units"
+
+// Pool is a free list of packets owned by one simulation. Every
+// simulation runs on a single goroutine (see package sim), so the pool
+// is deliberately unsynchronized. Components that create packets draw
+// from the pool with Data and ACK; the component that consumes a packet
+// at its end of life (the receiver for data packets, the receiver's ACK
+// delivery for ACKs, the link for packets rejected at enqueue) returns
+// it with Put.
+//
+// A nil *Pool is valid and simply allocates on Get/Data/ACK and ignores
+// Put, so components wired without a pool (unit tests, hand-built
+// networks) keep the original allocate-per-packet behavior.
+//
+// Ownership contract: after Put, the packet may be recycled for an
+// unrelated flow at any time. Callbacks observing packets in flight
+// (queue.DropRecorder, test sinks) must copy what they need rather than
+// retain the pointer when the network is pooled.
+type Pool struct {
+	free     []*Packet
+	disabled bool
+
+	// Gets/Reuses count pool traffic (observability and tests).
+	Gets   int64
+	Reuses int64
+}
+
+// Disable turns the pool into a plain allocator: Get allocates and Put
+// discards. Used to cross-check that pooling does not change simulation
+// results.
+func (pl *Pool) Disable() {
+	if pl == nil {
+		return
+	}
+	pl.disabled = true
+	pl.free = nil
+}
+
+// Get returns a zeroed packet, recycling a previously Put packet when
+// one is available.
+func (pl *Pool) Get() *Packet {
+	if pl == nil || pl.disabled {
+		return &Packet{}
+	}
+	pl.Gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		pl.Reuses++
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// Put returns a packet to the free list. The caller must not use p
+// afterwards.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || pl.disabled || p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// Data returns a data packet of MTU bytes for the given flow and
+// sequence number, stamped with the given send time (the pooled
+// equivalent of DataPacket).
+func (pl *Pool) Data(flow int, seq int64, sentAt units.Time) *Packet {
+	p := pl.Get()
+	p.Flow = flow
+	p.Seq = seq
+	p.Size = MTU
+	p.SentAt = sentAt
+	return p
+}
+
+// ACK returns the acknowledgment for data packet p, carrying the
+// cumulative ack cumSeq and the receiver arrival time now (the pooled
+// equivalent of the package-level ACK).
+func (pl *Pool) ACK(p *Packet, cumSeq int64, now units.Time) *Packet {
+	a := pl.Get()
+	a.Flow = p.Flow
+	a.Size = ACKSize
+	a.IsACK = true
+	a.AckSeq = cumSeq
+	a.AckedSeq = p.Seq
+	a.EchoSentAt = p.SentAt
+	a.ReceivedAt = now
+	return a
+}

@@ -1,0 +1,64 @@
+package packet
+
+import (
+	"testing"
+
+	"learnability/internal/units"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	pl := &Pool{}
+	p := pl.Data(1, 2, units.Time(3))
+	if p.Flow != 1 || p.Seq != 2 || p.Size != MTU || p.SentAt != units.Time(3) {
+		t.Fatalf("Data = %+v", p)
+	}
+	p.Retransmit = true
+	p.EnqueuedAt = 99
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the freed packet")
+	}
+	if *q != (Packet{}) {
+		t.Fatalf("recycled packet not zeroed: %+v", q)
+	}
+	if pl.Reuses != 1 {
+		t.Fatalf("Reuses = %d, want 1", pl.Reuses)
+	}
+}
+
+func TestPoolACKMirrorsPackageACK(t *testing.T) {
+	pl := &Pool{}
+	data := DataPacket(4, 10, units.Time(7*units.Millisecond))
+	want := *ACK(data, 9, units.Time(20*units.Millisecond))
+	got := *pl.ACK(data, 9, units.Time(20*units.Millisecond))
+	if got != want {
+		t.Fatalf("pooled ACK = %+v, want %+v", got, want)
+	}
+}
+
+func TestNilPoolAllocates(t *testing.T) {
+	var pl *Pool
+	p := pl.Data(1, 2, 3)
+	if p == nil || p.Size != MTU {
+		t.Fatalf("nil pool Data = %+v", p)
+	}
+	pl.Put(p) // must not panic
+	if pl.Get() == p {
+		t.Fatal("nil pool recycled a packet")
+	}
+}
+
+func TestDisabledPoolAllocates(t *testing.T) {
+	pl := &Pool{}
+	p := pl.Get()
+	pl.Put(p)
+	pl.Disable()
+	if pl.Get() == p {
+		t.Fatal("disabled pool recycled a packet")
+	}
+	pl.Put(p)
+	if pl.Get() == p {
+		t.Fatal("disabled pool accepted a Put")
+	}
+}

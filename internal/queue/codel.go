@@ -28,6 +28,7 @@ type CoDel struct {
 	q        fifo
 	stats    Stats
 	onDrop   DropRecorder
+	pool     *packet.Pool
 
 	target   units.Duration
 	interval units.Duration
@@ -61,6 +62,10 @@ func NewCoDelParams(capBytes int, target, interval units.Duration) *CoDel {
 
 // SetDropRecorder registers a callback invoked for each dropped packet.
 func (c *CoDel) SetDropRecorder(r DropRecorder) { c.onDrop = r }
+
+// SetPool implements PoolAware: packets CoDel drops at dequeue time
+// (packets it had accepted) are recycled.
+func (c *CoDel) SetPool(pl *packet.Pool) { c.pool = pl }
 
 // Enqueue implements Discipline.
 func (c *CoDel) Enqueue(now units.Time, p *packet.Packet) bool {
@@ -111,6 +116,7 @@ func (c *CoDel) drop(now units.Time, p *packet.Packet) {
 	if c.onDrop != nil {
 		c.onDrop(now, p)
 	}
+	c.pool.Put(p)
 }
 
 // Dequeue implements Discipline, applying the CoDel state machine: it

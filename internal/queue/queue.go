@@ -40,7 +40,20 @@ func (s Stats) Drops() int64 { return s.DropsTail + s.DropsAQM }
 
 // DropRecorder receives a callback for every dropped packet; the
 // time-domain experiment (Figure 8) uses it to mark drop instants.
+// In pooled networks (see packet.Pool) the packet may be recycled as
+// soon as the callback returns: recorders must copy any fields they
+// need rather than retain the pointer.
 type DropRecorder func(now units.Time, p *packet.Packet)
+
+// PoolAware is implemented by disciplines that can return dropped
+// packets to a packet pool. Ownership rule: a discipline owns packets
+// it has accepted (Enqueue returned true), so drops of owned packets —
+// AQM dequeue drops, fair-queueing victim evictions — are recycled by
+// the discipline; arrivals it rejects (Enqueue returns false) remain
+// owned by the caller, which recycles them itself.
+type PoolAware interface {
+	SetPool(pl *packet.Pool)
+}
 
 // fifo is a slice-backed FIFO of packets with amortized O(1) operations.
 type fifo struct {

@@ -21,6 +21,7 @@ type SFQCoDel struct {
 	bytes    int
 	stats    Stats
 	onDrop   DropRecorder
+	pool     *packet.Pool
 
 	// Deficit round-robin state.
 	active  []int // bin indices in service order
@@ -61,6 +62,16 @@ func (s *SFQCoDel) SetDropRecorder(r DropRecorder) {
 	}
 }
 
+// SetPool implements PoolAware: victim packets evicted from the
+// longest bin at enqueue time and CoDel drops inside bins are
+// recycled.
+func (s *SFQCoDel) SetPool(pl *packet.Pool) {
+	s.pool = pl
+	for _, b := range s.bins {
+		b.SetPool(pl)
+	}
+}
+
 func (s *SFQCoDel) bin(flow int) int {
 	// Fibonacci hash of the flow ID; flows in our simulations are small
 	// integers, so mixing matters more than collision resistance.
@@ -97,6 +108,7 @@ func (s *SFQCoDel) Enqueue(now units.Time, p *packet.Packet) bool {
 		if s.onDrop != nil {
 			s.onDrop(now, victim)
 		}
+		s.pool.Put(victim)
 	}
 	i := s.bin(p.Flow)
 	if !s.bins[i].Enqueue(now, p) {

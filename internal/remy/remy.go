@@ -155,10 +155,11 @@ func (c *Config) sample(r *rng.Stream) draw {
 	return d
 }
 
-// evalOne runs the candidate tree on one scenario draw and returns the
-// draw's objective plus whisker usage.
-func (c *Config) evalOne(tree *remycc.Tree, d draw) (float64, *remycc.UsageStats) {
-	usage := remycc.NewUsageStats(tree.Len())
+// evalOne runs the candidate tree on one scenario draw, accumulating
+// whisker usage into the caller-provided buffer (reset here), and
+// returns the draw's objective.
+func (c *Config) evalOne(tree *remycc.Tree, d draw, usage *remycc.UsageStats) float64 {
+	usage.Reset(tree.Len())
 	var senders []scenario.Sender
 	var trainees []int
 	for i := 0; i < d.nTrainee; i++ {
@@ -209,12 +210,15 @@ func (c *Config) evalOne(tree *remycc.Tree, d draw) (float64, *remycc.UsageStats
 		}
 	}
 	if n == 0 {
-		return 0, usage
+		return 0
 	}
-	return score / float64(n), usage
+	return score / float64(n)
 }
 
-// Trainer runs the Remy search.
+// Trainer runs the Remy search. Candidate evaluations are fanned out
+// across a persistent worker pool that lives for the duration of one
+// Train call, instead of spawning goroutines per evaluation; per-replica
+// UsageStats buffers are recycled across the whole search.
 type Trainer struct {
 	Cfg Config
 	// Workers bounds concurrent simulations (default: NumCPU).
@@ -223,6 +227,17 @@ type Trainer struct {
 	Seed uint64
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+
+	// jobs feeds the worker pool while Train is running. When nil
+	// (evaluate called outside Train, as some tests do), work runs
+	// inline on the calling goroutine.
+	jobs chan func()
+
+	// statsFree recycles per-replica usage accumulators. Only the Train
+	// goroutine touches it (buffers are checked out before jobs are
+	// submitted and returned after the batch completes), so it is
+	// unsynchronized.
+	statsFree []*remycc.UsageStats
 }
 
 // Budget bounds the search effort.
@@ -269,37 +284,111 @@ func (t *Trainer) workers() int {
 	return runtime.NumCPU()
 }
 
-// evaluate scores a tree on the generation's common scenario draws,
-// running replicas in parallel, and returns the mean objective and
-// merged whisker usage.
-func (t *Trainer) evaluate(cfg Config, tree *remycc.Tree, gen int) (float64, *remycc.UsageStats) {
-	type out struct {
-		score float64
-		usage *remycc.UsageStats
-	}
-	outs := make([]out, cfg.Replicas)
-	root := rng.New(t.Seed).SplitN("generation", gen)
+// startPool launches the persistent worker pool. The returned stop
+// function drains and joins the workers.
+func (t *Trainer) startPool() (stop func()) {
+	n := t.workers()
+	t.jobs = make(chan func(), 4*n)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, t.workers())
-	for k := 0; k < cfg.Replicas; k++ {
-		k := k
-		wg.Add(1)
-		sem <- struct{}{}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
 		go func() {
-			defer func() { <-sem; wg.Done() }()
-			d := cfg.sample(root.SplitN("replica", k))
-			s, u := cfg.evalOne(tree, d)
-			outs[k] = out{s, u}
+			defer wg.Done()
+			for fn := range t.jobs {
+				fn()
+			}
 		}()
 	}
-	wg.Wait()
-	total := 0.0
-	usage := remycc.NewUsageStats(tree.Len())
-	for _, o := range outs {
-		total += o.score
-		usage.Merge(o.usage)
+	return func() {
+		close(t.jobs)
+		wg.Wait()
+		t.jobs = nil
 	}
-	return total / float64(cfg.Replicas), usage
+}
+
+// submit hands fn to the worker pool, or runs it inline when no pool is
+// active.
+func (t *Trainer) submit(wg *sync.WaitGroup, fn func()) {
+	if t.jobs == nil {
+		fn()
+		return
+	}
+	wg.Add(1)
+	t.jobs <- func() {
+		defer wg.Done()
+		fn()
+	}
+}
+
+// getUsage checks a usage buffer out of the free list (Train goroutine
+// only).
+func (t *Trainer) getUsage() *remycc.UsageStats {
+	if n := len(t.statsFree); n > 0 {
+		u := t.statsFree[n-1]
+		t.statsFree = t.statsFree[:n-1]
+		return u
+	}
+	return &remycc.UsageStats{}
+}
+
+func (t *Trainer) putUsage(u *remycc.UsageStats) {
+	t.statsFree = append(t.statsFree, u)
+}
+
+// evaluateBatch scores several candidate trees on the generation's
+// common scenario draws (common random numbers: every candidate sees
+// the same draws), fanning all tree x replica simulations across the
+// worker pool at once. It returns the mean objective per tree and, when
+// usageFor is a valid index, the merged whisker usage of that tree.
+func (t *Trainer) evaluateBatch(cfg Config, trees []*remycc.Tree, gen, usageFor int) ([]float64, *remycc.UsageStats) {
+	root := rng.New(t.Seed).SplitN("generation", gen)
+	draws := make([]draw, cfg.Replicas)
+	for k := range draws {
+		draws[k] = cfg.sample(root.SplitN("replica", k))
+	}
+
+	scores := make([]float64, len(trees)*cfg.Replicas)
+	usages := make([]*remycc.UsageStats, len(trees)*cfg.Replicas)
+	var wg sync.WaitGroup
+	for ti, tree := range trees {
+		for k := 0; k < cfg.Replicas; k++ {
+			slot := ti*cfg.Replicas + k
+			u := t.getUsage()
+			usages[slot] = u
+			tree, k := tree, k
+			t.submit(&wg, func() {
+				scores[slot] = cfg.evalOne(tree, draws[k], u)
+			})
+		}
+	}
+	wg.Wait()
+
+	means := make([]float64, len(trees))
+	for ti := range trees {
+		total := 0.0
+		for k := 0; k < cfg.Replicas; k++ {
+			total += scores[ti*cfg.Replicas+k]
+		}
+		means[ti] = total / float64(cfg.Replicas)
+	}
+	var usage *remycc.UsageStats
+	if usageFor >= 0 && usageFor < len(trees) {
+		usage = remycc.NewUsageStats(trees[usageFor].Len())
+		for k := 0; k < cfg.Replicas; k++ {
+			usage.Merge(usages[usageFor*cfg.Replicas+k])
+		}
+	}
+	for _, u := range usages {
+		t.putUsage(u)
+	}
+	return means, usage
+}
+
+// evaluate scores a tree on the generation's common scenario draws and
+// returns the mean objective and merged whisker usage.
+func (t *Trainer) evaluate(cfg Config, tree *remycc.Tree, gen int) (float64, *remycc.UsageStats) {
+	means, usage := t.evaluateBatch(cfg, []*remycc.Tree{tree}, gen, 0)
+	return means[0], usage
 }
 
 // neighbors generates the candidate actions adjacent to a. When
@@ -335,6 +424,8 @@ const improvementEpsilon = 1e-4
 func (t *Trainer) Train(b Budget) *remycc.Tree {
 	cfg := t.Cfg.normalize()
 	b = b.normalize()
+	stop := t.startPool()
+	defer stop()
 	tree := remycc.NewTree()
 	if cfg.DisablePacing {
 		a := tree.Action(0)
@@ -391,24 +482,17 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 	return tree
 }
 
-// optimizeWhisker hill-climbs one whisker's action; candidate neighbor
-// actions are evaluated in parallel.
+// optimizeWhisker hill-climbs one whisker's action; all candidate
+// neighbor evaluations (candidate x replica) run on the worker pool in
+// one batch.
 func (t *Trainer) optimizeWhisker(cfg Config, tree *remycc.Tree, wi int, score float64, gen, maxMoves int) (*remycc.Tree, float64) {
 	for move := 0; move < maxMoves; move++ {
 		cands := neighbors(tree.Action(wi), cfg.DisablePacing)
-		scores := make([]float64, len(cands))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, max(1, t.workers()/max(1, cfg.Replicas)))
+		trees := make([]*remycc.Tree, len(cands))
 		for ci, a := range cands {
-			ci, a := ci, a
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer func() { <-sem; wg.Done() }()
-				scores[ci], _ = t.evaluate(cfg, tree.WithAction(wi, a), gen)
-			}()
+			trees[ci] = tree.WithAction(wi, a)
 		}
-		wg.Wait()
+		scores, _ := t.evaluateBatch(cfg, trees, gen, -1)
 		best, bestScore := -1, score
 		for ci, s := range scores {
 			if s > bestScore+improvementEpsilon {

@@ -179,7 +179,8 @@ func TestEvalOneScoresTraineesOnly(t *testing.T) {
 	if d.nAIMD != 1 {
 		t.Fatalf("expected AIMD draw, got %+v", d)
 	}
-	score, usage := cfg.evalOne(remycc.NewTree(), d)
+	usage := &remycc.UsageStats{}
+	score := cfg.evalOne(remycc.NewTree(), d, usage)
 	if score == 0 {
 		t.Fatal("zero score from a live scenario")
 	}

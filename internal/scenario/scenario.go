@@ -97,6 +97,12 @@ type Spec struct {
 	// simulation evolves.
 	Probe         func(now units.Time)
 	ProbeInterval units.Duration
+
+	// DisablePacketPool turns off packet recycling for the run,
+	// allocating every packet afresh as the pre-pool simulator did.
+	// Results are bit-identical either way; the determinism tests
+	// cross-check the two modes.
+	DisablePacketPool bool
 }
 
 // Result reports one flow's outcome.
@@ -157,11 +163,13 @@ func Build(spec Spec) (*netsim.Network, []queue.Discipline) {
 		flows[i] = topo.FlowSpec{Alg: snd.Alg, Workload: wl}
 	}
 
+	var nw *netsim.Network
+	var queues []queue.Discipline
 	switch spec.Topology {
 	case Dumbbell:
 		q := mkQueue(spec.LinkSpeed)
-		nw := topo.Dumbbell(spec.LinkSpeed, spec.MinRTT, q, flows)
-		return nw, []queue.Discipline{q}
+		nw = topo.Dumbbell(spec.LinkSpeed, spec.MinRTT, q, flows)
+		queues = []queue.Discipline{q}
 	case ParkingLot:
 		if len(spec.Senders) != 3 {
 			panic("scenario: parking lot needs exactly 3 senders")
@@ -169,11 +177,15 @@ func Build(spec Spec) (*netsim.Network, []queue.Discipline) {
 		q1 := mkQueue(spec.LinkSpeed)
 		q2 := mkQueue(spec.LinkSpeed2)
 		hop := units.Duration(spec.MinRTT / 4)
-		nw := topo.ParkingLot(spec.LinkSpeed, spec.LinkSpeed2, hop, q1, q2, flows)
-		return nw, []queue.Discipline{q1, q2}
+		nw = topo.ParkingLot(spec.LinkSpeed, spec.LinkSpeed2, hop, q1, q2, flows)
+		queues = []queue.Discipline{q1, q2}
 	default:
 		panic("scenario: unknown topology")
 	}
+	if spec.DisablePacketPool {
+		nw.Pool.Disable()
+	}
+	return nw, queues
 }
 
 // Finish runs a built network for the spec's duration and collects

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+
+	"learnability/internal/rng"
+	"learnability/internal/units"
+)
+
+// refScheduler is a naive reference implementation: a plain sorted-slice
+// event list with lazy ordering, used to cross-check the indexed 4-ary
+// heap on randomized schedule/cancel/reschedule workloads.
+type refScheduler struct {
+	now    units.Time
+	seq    uint64
+	events []refEvent
+}
+
+type refEvent struct {
+	at   units.Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+func (r *refScheduler) schedule(at units.Time, id int) {
+	r.events = append(r.events, refEvent{at: at, seq: r.seq, id: id})
+	r.seq++
+}
+
+func (r *refScheduler) cancel(id int) bool {
+	for i := range r.events {
+		if r.events[i].id == id && !r.events[i].dead {
+			r.events[i].dead = true
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refScheduler) len() int {
+	n := 0
+	for i := range r.events {
+		if !r.events[i].dead {
+			n++
+		}
+	}
+	return n
+}
+
+// pop removes and returns the live event with the smallest (at, seq).
+func (r *refScheduler) pop() (refEvent, bool) {
+	best := -1
+	for i := range r.events {
+		if r.events[i].dead {
+			continue
+		}
+		if best < 0 || r.events[i].at < r.events[best].at ||
+			(r.events[i].at == r.events[best].at && r.events[i].seq < r.events[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return refEvent{}, false
+	}
+	ev := r.events[best]
+	r.events = append(r.events[:best], r.events[best+1:]...)
+	r.now = ev.at
+	return ev, true
+}
+
+// TestHeapMatchesReference drives the real scheduler and the naive
+// reference through an identical randomized workload of schedules,
+// cancellations, and reschedules, and asserts they fire the same events
+// in the same order and always agree on Len.
+func TestHeapMatchesReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		s := New()
+		ref := &refScheduler{}
+
+		var fired []int
+		timers := map[int]Timer{}
+		nextID := 0
+
+		schedule := func() {
+			d := units.Duration(r.Intn(1000)) * units.Microsecond
+			id := nextID
+			nextID++
+			at := s.Now().Add(d)
+			timers[id] = s.After(d, func() { fired = append(fired, id) })
+			ref.schedule(at, id)
+		}
+
+		cancelRandom := func() {
+			if len(timers) == 0 {
+				return
+			}
+			// Pick the live timer with the smallest id (deterministic).
+			best := -1
+			for id := range timers {
+				if best < 0 || id < best {
+					best = id
+				}
+			}
+			got := timers[best].Stop()
+			want := ref.cancel(best)
+			if got != want {
+				t.Fatalf("trial %d: Stop(%d) = %v, reference = %v", trial, best, got, want)
+			}
+			delete(timers, best)
+		}
+
+		// Seed with a burst, then interleave operations with stepping.
+		for i := 0; i < 30; i++ {
+			schedule()
+		}
+		for op := 0; op < 400; op++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				schedule()
+			case 2:
+				cancelRandom()
+			case 3:
+				// Step both schedulers one event.
+				refEv, refOK := ref.pop()
+				nFired := len(fired)
+				simOK := s.Step()
+				if simOK != refOK {
+					t.Fatalf("trial %d op %d: Step = %v, reference = %v", trial, op, simOK, refOK)
+				}
+				if !simOK {
+					continue
+				}
+				if len(fired) != nFired+1 || fired[len(fired)-1] != refEv.id {
+					t.Fatalf("trial %d op %d: fired %d, reference fired %d",
+						trial, op, fired[len(fired)-1], refEv.id)
+				}
+				if s.Now() != refEv.at {
+					t.Fatalf("trial %d op %d: now %v, reference %v", trial, op, s.Now(), refEv.at)
+				}
+				delete(timers, refEv.id)
+			}
+			if s.Len() != ref.len() {
+				t.Fatalf("trial %d op %d: Len = %d, reference = %d", trial, op, s.Len(), ref.len())
+			}
+		}
+
+		// Drain both completely and compare the tail.
+		for {
+			refEv, refOK := ref.pop()
+			nFired := len(fired)
+			simOK := s.Step()
+			if simOK != refOK {
+				t.Fatalf("trial %d drain: Step = %v, reference = %v", trial, simOK, refOK)
+			}
+			if !simOK {
+				break
+			}
+			if fired[nFired] != refEv.id {
+				t.Fatalf("trial %d drain: fired %d, reference %d", trial, fired[nFired], refEv.id)
+			}
+		}
+		if s.Len() != 0 {
+			t.Fatalf("trial %d: %d events left after drain", trial, s.Len())
+		}
+	}
+}
+
+// TestLenExactAfterStop pins the new Len contract: cancelling removes
+// the event immediately instead of leaving a dead entry until its fire
+// time.
+func TestLenExactAfterStop(t *testing.T) {
+	s := New()
+	var tms []Timer
+	for i := 0; i < 10; i++ {
+		tms = append(tms, s.After(units.Duration(i+1)*units.Millisecond, func() {}))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	for i, tm := range tms {
+		if !tm.Stop() {
+			t.Fatalf("Stop %d failed", i)
+		}
+		if s.Len() != 10-i-1 {
+			t.Fatalf("Len = %d after %d stops, want %d", s.Len(), i+1, 10-i-1)
+		}
+	}
+}
+
+// TestStaleHandleAfterSlotReuse verifies generation counting: a handle
+// to a fired event must stay dead even after its slot is recycled by a
+// new event.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	s := New()
+	old := s.After(units.Millisecond, func() {})
+	s.Run(units.Time(2 * units.Millisecond))
+	if old.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	// The next event reuses the freed slot.
+	fresh := s.After(units.Millisecond, func() {})
+	if old.Pending() {
+		t.Fatal("stale handle went pending after slot reuse")
+	}
+	if old.Stop() {
+		t.Fatal("stale handle Stop cancelled the new event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer should be pending")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+// BenchmarkScheduler measures the scheduler hot loop: a rolling window
+// of pending events with one schedule and one fire per operation, the
+// access pattern the packet simulation produces. The interesting number
+// is allocs/op, which must stay at zero.
+func BenchmarkScheduler(b *testing.B) {
+	s := New()
+	fn := func() {}
+	// Pre-fill a working set so the heap has realistic depth.
+	for i := 0; i < 256; i++ {
+		s.After(units.Duration(i%97+1)*units.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(units.Duration(i%97+1)*units.Microsecond, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerCancel measures the schedule+cancel path (the
+// transport re-arms its RTO timer on every cumulative ACK).
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.After(units.Duration(i%97+1)*units.Microsecond, fn)
+		tm.Stop()
+	}
+}

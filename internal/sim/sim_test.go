@@ -114,12 +114,15 @@ func TestTimerWhen(t *testing.T) {
 	if tm.When() != units.MaxTime {
 		t.Fatalf("When after Stop = %v, want MaxTime", tm.When())
 	}
-	var nilTimer *Timer
-	if nilTimer.Pending() {
-		t.Fatal("nil timer should not be pending")
+	var zeroTimer Timer
+	if zeroTimer.Pending() {
+		t.Fatal("zero timer should not be pending")
 	}
-	if nilTimer.Stop() {
-		t.Fatal("nil timer Stop should be false")
+	if zeroTimer.Stop() {
+		t.Fatal("zero timer Stop should be false")
+	}
+	if zeroTimer.When() != units.MaxTime {
+		t.Fatal("zero timer When should be MaxTime")
 	}
 }
 

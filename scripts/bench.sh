@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh — run the core micro + scenario benchmarks with -benchmem and
+# emit BENCH_core.json so the performance trajectory is tracked PR over
+# PR. Usage:
+#
+#   scripts/bench.sh                  # default (quick) iteration counts
+#   BENCHTIME=2s scripts/bench.sh     # fixed-time runs for stable numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-}"
+SCENARIO_BENCHTIME="${SCENARIO_BENCHTIME:-${BENCHTIME:-5x}}"
+MICRO_BENCHTIME="${MICRO_BENCHTIME:-${BENCHTIME:-1s}}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== micro benchmarks (sim / netsim / remycc) =="
+go test -run '^$' \
+  -bench 'BenchmarkScheduler$|BenchmarkSchedulerCancel|BenchmarkLinkSaturation|BenchmarkFlowPath|BenchmarkWhiskerLookup$|BenchmarkWhiskerLookupUncached' \
+  -benchmem -benchtime "$MICRO_BENCHTIME" \
+  ./internal/sim/ ./internal/netsim/ ./internal/cc/remycc/ | tee "$RAW"
+
+echo "== scenario + trainer benchmarks =="
+go test -run '^$' -bench 'BenchmarkScenarioRun|BenchmarkTrainer' \
+  -benchmem -benchtime "$SCENARIO_BENCHTIME" . | tee -a "$RAW"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ && /ns\/op/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  if (n++) printf ",\n"
+  printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    name, $2, $3, $5, $7
+}
+END { print "\n]" }
+' "$RAW" > BENCH_core.json
+
+echo "wrote BENCH_core.json:"
+cat BENCH_core.json

@@ -8,14 +8,14 @@ import (
 
 // TreeStats summarizes a trained tree for inspection and logging.
 type TreeStats struct {
-	Whiskers int
+	Whiskers int // number of match-action rules
 	// Per-dimension count of split planes (how often training found a
 	// signal worth discriminating on).
 	SplitsPerSignal [NumSignals]int
 	// Action ranges across whiskers.
-	MinMult, MaxMult             float64
-	MinIncr, MaxIncr             float64
-	MinIntersendS, MaxIntersendS float64
+	MinMult, MaxMult             float64 // window-multiple extremes
+	MinIncr, MaxIncr             float64 // window-increment extremes
+	MinIntersendS, MaxIntersendS float64 // intersend-interval extremes, seconds
 }
 
 // Stats computes summary statistics of the tree.

@@ -22,8 +22,8 @@ const initialWindow = 2.0
 // (Remy's "median of observed memory" refinement, approximated by the
 // mean).
 type UsageStats struct {
-	Count []int64
-	Sum   [][NumSignals]float64
+	Count []int64               // per-whisker fire counts
+	Sum   [][NumSignals]float64 // per-whisker sums of observed memory vectors
 }
 
 // NewUsageStats sizes usage accumulators for a tree of n whiskers.

@@ -61,8 +61,8 @@ func (a Action) Clamp() Action {
 // exclusive of Hi except at the domain's upper boundary (lookups clamp
 // into the domain, so the boundary point maps to the topmost box).
 type Box struct {
-	Lo Vector `json:"lo"`
-	Hi Vector `json:"hi"`
+	Lo Vector `json:"lo"` // inclusive lower corner
+	Hi Vector `json:"hi"` // exclusive upper corner (see boundary rule above)
 }
 
 // FullDomain is the box covering the whole memory space.
@@ -94,8 +94,8 @@ func (b Box) Contains(v Vector) bool {
 // Whisker is one match-action rule: a domain box and the action taken
 // for memories falling inside it.
 type Whisker struct {
-	Domain Box    `json:"domain"`
-	Action Action `json:"action"`
+	Domain Box    `json:"domain"` // region of memory space this rule matches
+	Action Action `json:"action"` // response applied while memory is in Domain
 }
 
 // Tree is the piecewise-constant mapping from memory to action: a set
@@ -110,6 +110,8 @@ type Whisker struct {
 // Trees built as bare literals (no index) fall back to a full linear
 // scan. The trainer builds modified copies rather than mutating.
 type Tree struct {
+	// Whiskers are the match-action rules; their domains partition the
+	// memory space.
 	Whiskers []Whisker `json:"whiskers"`
 
 	// idx accelerates Lookup: cuts is the ascending list of whisker

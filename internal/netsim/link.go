@@ -16,6 +16,8 @@ import (
 // Deliverer consumes packets at the downstream end of a hop. Links are
 // Deliverers (packets entering their queue), as are Receivers.
 type Deliverer interface {
+	// Deliver hands p to this hop at simulated time now. The callee
+	// takes ownership of the packet.
 	Deliver(now units.Time, p *packet.Packet)
 }
 

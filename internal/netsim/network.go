@@ -10,19 +10,19 @@ import (
 // Flow bundles the endpoints and bookkeeping of one sender-receiver
 // pair.
 type Flow struct {
-	Sender   *Sender
-	Receiver *Receiver
-	Stats    *FlowStats
-	Workload workload.Source
+	Sender   *Sender         // transport endpoint originating data
+	Receiver *Receiver       // terminating endpoint generating ACKs
+	Stats    *FlowStats      // per-flow counters, shared by both ends
+	Workload workload.Source // on/off process driving the sender
 }
 
 // Network is an assembled simulation: a scheduler, links, and flows.
 // Topology builders (package topo) construct Networks; Run executes
 // them.
 type Network struct {
-	Sched *sim.Scheduler
-	Links []*Link
-	Flows []*Flow
+	Sched *sim.Scheduler // the event loop every component runs on
+	Links []*Link        // all links, in registration order
+	Flows []*Flow        // all flows, in registration (= flow ID) order
 
 	// Pool recycles packets across the network's lifetime. Topology
 	// builders wire it into every sender, receiver, and link; the

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"learnability/internal/units"
+)
+
+// TestScoreboardDifferentialRandomOps drives the ring and map
+// scoreboards through identical randomized op traces — marks of every
+// flag combination, partial and overshooting cumulative advances, RTO
+// resets — and requires bit-equal observations after every op: get()
+// over the whole live window, marked(), and the excluded-reclaim count
+// returned by advance().
+func TestScoreboardDifferentialRandomOps(t *testing.T) {
+	bitsChoices := []uint8{sbSacked, sbLost, sbRetx, sbSacked | sbLost, sbLost | sbRetx}
+	for trial := 0; trial < 50; trial++ {
+		rnd := rand.New(rand.NewSource(int64(trial)))
+		ring := newRingScoreboard()
+		ref := newMapScoreboard(0)
+		var base, next int64 // live window is [base, next)
+
+		check := func(op string) {
+			t.Helper()
+			for seq := base - 2; seq < next+2; seq++ {
+				if g, w := ring.get(seq), ref.get(seq); g != w {
+					t.Fatalf("trial %d after %s: get(%d) = %#x, map says %#x", trial, op, seq, g, w)
+				}
+			}
+			if g, w := ring.marked(), ref.marked(); g != w {
+				t.Fatalf("trial %d after %s: marked() = %d, map says %d", trial, op, g, w)
+			}
+		}
+
+		for op := 0; op < 500; op++ {
+			switch rnd.Intn(10) {
+			case 0, 1, 2, 3: // grow the window (send new data)
+				next += int64(rnd.Intn(40))
+			case 4, 5, 6: // mark a live (or just-settled) sequence
+				if next == base {
+					continue
+				}
+				seq := base - 1 + rnd.Int63n(next-base+1)
+				bits := bitsChoices[rnd.Intn(len(bitsChoices))]
+				ring.or(seq, bits)
+				ref.or(seq, bits)
+			case 7, 8: // cumulative advance, sometimes past every mark
+				newUna := base + rnd.Int63n(next-base+2)
+				gr, wr := ring.advance(newUna), ref.advance(newUna)
+				if gr != wr {
+					t.Fatalf("trial %d: advance(%d) reclaimed %d, map says %d", trial, newUna, gr, wr)
+				}
+				if newUna > base {
+					base = newUna
+					if next < base {
+						next = base
+					}
+				}
+			case 9: // RTO rebuild
+				ring.reset(base)
+				ref.reset(base)
+			}
+			check("op")
+		}
+	}
+}
+
+// diffHarness pairs a ring-scoreboard sender with a map-scoreboard
+// sender so a trace can be applied to both.
+type diffHarness struct {
+	ring, ref *harness
+}
+
+func newDiffHarness(window float64) *diffHarness {
+	d := &diffHarness{ring: newHarness(window), ref: newHarness(window)}
+	d.ref.snd.UseMapScoreboard()
+	d.ring.start()
+	d.ref.start()
+	return d
+}
+
+// step feeds the same crafted ACK to both senders and asserts their
+// externally visible transport state stayed identical.
+func (d *diffHarness) step(t *testing.T, cum, acked int64, at units.Duration) {
+	t.Helper()
+	d.ring.ack(cum, acked, at)
+	d.ref.ack(cum, acked, at)
+	if a, b := d.ring.snd.sndUna, d.ref.snd.sndUna; a != b {
+		t.Fatalf("sndUna diverged: ring %d, map %d", a, b)
+	}
+	if a, b := d.ring.snd.nextSeq, d.ref.snd.nextSeq; a != b {
+		t.Fatalf("nextSeq diverged: ring %d, map %d", a, b)
+	}
+	if a, b := d.ring.snd.excluded, d.ref.snd.excluded; a != b {
+		t.Fatalf("excluded diverged: ring %d, map %d", a, b)
+	}
+	if a, b := d.ring.snd.sb.marked(), d.ref.snd.sb.marked(); a != b {
+		t.Fatalf("marked entries diverged: ring %d, map %d", a, b)
+	}
+}
+
+// TestSenderRingMatchesMapOnRandomTraces runs two full senders — one on
+// each scoreboard — through identical randomized ACK/SACK/loss/reorder
+// traces, including silent gaps long enough to fire RTOs, and requires
+// the transmitted packet streams, pipe accounting, and loss statistics
+// to match exactly at every step.
+func TestSenderRingMatchesMapOnRandomTraces(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rnd := rand.New(rand.NewSource(int64(1000 + trial)))
+		d := newDiffHarness(float64(4 + rnd.Intn(16)))
+		now := units.Duration(0)
+		for step := 0; step < 300; step++ {
+			now += units.Duration(rnd.Intn(20)+1) * units.Millisecond
+			if rnd.Intn(60) == 0 {
+				// Silence long enough for the RTO to fire in both.
+				now += 3 * units.Second
+			}
+			una, next := d.ring.snd.sndUna, d.ring.snd.nextSeq
+			acked := next // out of range: pure time advance
+			if next > una {
+				acked = una + rnd.Int63n(next-una)
+			}
+			var cum int64
+			switch rnd.Intn(3) {
+			case 0: // in-order delivery
+				cum = acked
+			case 1: // pure SACK, cumulative point stuck
+				cum = una - 1
+			case 2: // partial advance below the sacked packet
+				cum = una - 1 + rnd.Int63n(acked-una+2)
+			}
+			d.step(t, cum, acked, now)
+		}
+		if a, b := len(d.ring.out.sent), len(d.ref.out.sent); a != b {
+			t.Fatalf("trial %d: sent %d packets on ring, %d on map", trial, a, b)
+		}
+		for i := range d.ring.out.sent {
+			p, q := d.ring.out.sent[i], d.ref.out.sent[i]
+			if p.Seq != q.Seq || p.Retransmit != q.Retransmit {
+				t.Fatalf("trial %d: packet %d diverged: ring seq=%d retx=%v, map seq=%d retx=%v",
+					trial, i, p.Seq, p.Retransmit, q.Seq, q.Retransmit)
+			}
+		}
+		if a, b := *d.ring.stats, *d.ref.stats; a.Retransmits != b.Retransmits || a.Timeouts != b.Timeouts {
+			t.Fatalf("trial %d: stats diverged: ring %+v, map %+v", trial, a, b)
+		}
+	}
+}

@@ -47,13 +47,18 @@ type Sender struct {
 	sndUna  int64 // lowest unacknowledged sequence number
 
 	// Scoreboard (RFC 6675-style). All entries lie in [sndUna,
-	// nextSeq).
-	sacked        map[int64]bool // delivered above the cumulative point
-	lostSet       map[int64]bool // declared lost
-	retx          map[int64]bool // retransmitted since declared lost
-	lostQueue     []int64        // lost seqs pending retransmission, ascending
-	highestSacked int64          // highest individually acked seq; -1 none
-	lossScan      int64          // all seqs below this have been classified
+	// nextSeq); sb stores the per-sequence SACKED/LOST/RETX flags (ring
+	// buffer by default, reference map implementation behind
+	// scenario.Spec.UseMapScoreboard).
+	sb scoreboard
+	// lostQueue[lostHead:] holds lost seqs pending retransmission,
+	// ascending. Consumption advances lostHead rather than re-slicing
+	// from the front, so the backing array's capacity survives a drain
+	// and steady-state loss recovery appends without allocating.
+	lostQueue     []int64
+	lostHead      int
+	highestSacked int64 // highest individually acked seq; -1 none
+	lossScan      int64 // all seqs below this have been classified
 	// excluded counts scoreboard entries not in the pipe: sacked, or
 	// lost and not yet retransmitted. pipe = outstanding - excluded.
 	excluded int64
@@ -96,9 +101,7 @@ func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Delivere
 		alg:           alg,
 		egress:        egress,
 		stats:         stats,
-		sacked:        make(map[int64]bool),
-		lostSet:       make(map[int64]bool),
-		retx:          make(map[int64]bool),
+		sb:            newRingScoreboard(),
 		highestSacked: -1,
 		minRTT:        units.Duration(math.MaxInt64),
 	}
@@ -110,6 +113,14 @@ func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Delivere
 // SetPool attaches the simulation's packet pool, from which outgoing
 // data packets are drawn.
 func (s *Sender) SetPool(p *packet.Pool) { s.pool = p }
+
+// UseMapScoreboard swaps the default ring-buffer SACK scoreboard for
+// the reference hash-map implementation (the seed simulator's
+// behavior). Results are bit-identical either way — the differential
+// tests cross-check the two — but the map allocates on the ACK path.
+// It must be called before any traffic flows; scenario.Build does this
+// when Spec.UseMapScoreboard is set.
+func (s *Sender) UseMapScoreboard() { s.sb = newMapScoreboard(s.sndUna) }
 
 // Flow returns the sender's flow ID.
 func (s *Sender) Flow() int { return s.flow }
@@ -161,14 +172,16 @@ func (s *Sender) OnAck(now units.Time, a *packet.Packet) {
 	// Selective information: the packet that triggered this ACK.
 	// Sequences never sent are ignored (see the cumulative clamp
 	// below).
-	if seq := a.AckedSeq; seq >= s.sndUna && seq < s.nextSeq && !s.sacked[seq] {
-		wasExcluded := s.lostSet[seq] && !s.retx[seq]
-		s.sacked[seq] = true
-		if !wasExcluded {
-			s.excluded++
-		}
-		if seq > s.highestSacked {
-			s.highestSacked = seq
+	if seq := a.AckedSeq; seq >= s.sndUna && seq < s.nextSeq {
+		if fl := s.sb.get(seq); fl&sbSacked == 0 {
+			wasExcluded := sbExcluded(fl)
+			s.sb.or(seq, sbSacked)
+			if !wasExcluded {
+				s.excluded++
+			}
+			if seq > s.highestSacked {
+				s.highestSacked = seq
+			}
 		}
 	}
 
@@ -177,14 +190,7 @@ func (s *Sender) OnAck(now units.Time, a *packet.Packet) {
 	// pipe accounting go negative.
 	if newUna := a.AckSeq + 1; newUna > s.sndUna && newUna <= s.nextSeq {
 		newly := int(newUna - s.sndUna)
-		for seq := s.sndUna; seq < newUna; seq++ {
-			if s.sacked[seq] || (s.lostSet[seq] && !s.retx[seq]) {
-				s.excluded--
-			}
-			delete(s.sacked, seq)
-			delete(s.lostSet, seq)
-			delete(s.retx, seq)
-		}
+		s.excluded -= s.sb.advance(newUna)
 		s.sndUna = newUna
 		if s.lossScan < s.sndUna {
 			s.lossScan = s.sndUna
@@ -218,14 +224,14 @@ func (s *Sender) classifyLosses(now units.Time) {
 	newLoss := false
 	for ; s.lossScan <= limit; s.lossScan++ {
 		seq := s.lossScan
-		if s.sacked[seq] || s.lostSet[seq] {
+		// Unclassified sequences cannot carry sbRetx (retransmission
+		// requires a prior sbLost, which the check above would catch),
+		// so a fresh hole here always enters the loss queue.
+		fl := s.sb.get(seq)
+		if fl&(sbSacked|sbLost) != 0 {
 			continue
 		}
-		s.lostSet[seq] = true
-		if s.retx[seq] {
-			// Already retransmitted (by an RTO); leave it to the timer.
-			continue
-		}
+		s.sb.or(seq, sbLost)
 		s.excluded++
 		s.lostQueue = append(s.lostQueue, seq)
 		newLoss = true
@@ -299,15 +305,14 @@ func (s *Sender) onTimeout(now units.Time) {
 	s.inRecovery = false
 	s.alg.OnTimeout(now)
 
-	clear(s.sacked)
-	clear(s.lostSet)
-	clear(s.retx)
+	s.sb.reset(s.sndUna)
 	s.lostQueue = s.lostQueue[:0]
+	s.lostHead = 0
 	s.highestSacked = -1
 	s.lossScan = s.nextSeq
 	// Everything beyond sndUna is presumed lost until re-acknowledged.
 	for seq := s.sndUna + 1; seq < s.nextSeq; seq++ {
-		s.lostSet[seq] = true
+		s.sb.or(seq, sbLost)
 		s.lostQueue = append(s.lostQueue, seq)
 	}
 	s.excluded = s.Outstanding() - 1 // all but the head, resent below
@@ -336,15 +341,16 @@ func (s *Sender) sendPacket(now units.Time, seq int64, isRetx bool) {
 func (s *Sender) trySend(now units.Time) {
 	for {
 		// Drop stale entries from the head of the loss queue.
-		for len(s.lostQueue) > 0 {
-			seq := s.lostQueue[0]
-			if seq < s.sndUna || s.sacked[seq] || s.retx[seq] || !s.lostSet[seq] {
-				s.lostQueue = s.lostQueue[1:]
+		for s.lostHead < len(s.lostQueue) {
+			seq := s.lostQueue[s.lostHead]
+			fl := s.sb.get(seq)
+			if seq < s.sndUna || fl&(sbSacked|sbRetx) != 0 || fl&sbLost == 0 {
+				s.popLost()
 				continue
 			}
 			break
 		}
-		wantRetx := len(s.lostQueue) > 0
+		wantRetx := s.lostHead < len(s.lostQueue)
 		wantNew := s.on
 		if !wantRetx && !wantNew {
 			return
@@ -357,9 +363,9 @@ func (s *Sender) trySend(now units.Time) {
 			return
 		}
 		if wantRetx {
-			seq := s.lostQueue[0]
-			s.lostQueue = s.lostQueue[1:]
-			s.retx[seq] = true
+			seq := s.lostQueue[s.lostHead]
+			s.popLost()
+			s.sb.or(seq, sbRetx)
 			s.excluded-- // back in the pipe
 			s.sendPacket(now, seq, true)
 		} else {
@@ -370,6 +376,16 @@ func (s *Sender) trySend(now units.Time) {
 				s.resetRTO(now)
 			}
 		}
+	}
+}
+
+// popLost consumes the head of the loss queue, recycling the backing
+// array once the queue drains.
+func (s *Sender) popLost() {
+	s.lostHead++
+	if s.lostHead == len(s.lostQueue) {
+		s.lostQueue = s.lostQueue[:0]
+		s.lostHead = 0
 	}
 }
 

@@ -281,9 +281,8 @@ func TestSenderCumulativeAckCleansScoreboard(t *testing.T) {
 	h.ack(-1, 1, 10*units.Millisecond)
 	h.ack(-1, 2, 11*units.Millisecond)
 	h.ack(5, 5, 20*units.Millisecond) // everything delivered
-	if len(h.snd.sacked) != 0 || len(h.snd.lostSet) != 0 || len(h.snd.retx) != 0 {
-		t.Fatalf("scoreboard not cleaned: sacked=%d lost=%d retx=%d",
-			len(h.snd.sacked), len(h.snd.lostSet), len(h.snd.retx))
+	if n := h.snd.sb.marked(); n != 0 {
+		t.Fatalf("scoreboard not cleaned: %d entries still marked", n)
 	}
 	if h.snd.excluded != 0 {
 		t.Fatalf("excluded = %d after full ack", h.snd.excluded)

@@ -6,7 +6,7 @@ import "learnability/internal/units"
 // are computed from: bytes successfully delivered, per-packet one-way
 // delay, and time spent "on" (with offered load).
 type FlowStats struct {
-	Flow int
+	Flow int // flow ID (index in the network's flow order)
 
 	// DeliveredBytes counts bytes delivered in order to the receiver
 	// (goodput: retransmitted copies of the same data count once).

@@ -22,10 +22,21 @@ type Pool struct {
 	free     []*Packet
 	disabled bool
 
+	// slab is the current block of never-used packets; slabNext indexes
+	// the first unhanded entry. Growing a simulation's packet
+	// population costs one allocation per slabSize packets instead of
+	// one per packet, so the run-start ramp to peak occupancy (windows
+	// opening, queues filling) stays off the allocator's hot path.
+	slab     []Packet
+	slabNext int
+
 	// Gets/Reuses count pool traffic (observability and tests).
-	Gets   int64
-	Reuses int64
+	Gets   int64 // packets handed out
+	Reuses int64 // of those, recycled after a Put
 }
+
+// slabSize is how many packets a dry pool allocates at once.
+const slabSize = 256
 
 // Disable turns the pool into a plain allocator: Get allocates and Put
 // discards. Used to cross-check that pooling does not change simulation
@@ -36,10 +47,12 @@ func (pl *Pool) Disable() {
 	}
 	pl.disabled = true
 	pl.free = nil
+	pl.slab = nil
+	pl.slabNext = 0
 }
 
 // Get returns a zeroed packet, recycling a previously Put packet when
-// one is available.
+// one is available and carving from the current slab otherwise.
 func (pl *Pool) Get() *Packet {
 	if pl == nil || pl.disabled {
 		return &Packet{}
@@ -52,7 +65,13 @@ func (pl *Pool) Get() *Packet {
 		*p = Packet{}
 		return p
 	}
-	return &Packet{}
+	if pl.slabNext == len(pl.slab) {
+		pl.slab = make([]Packet, slabSize)
+		pl.slabNext = 0
+	}
+	p := &pl.slab[pl.slabNext]
+	pl.slabNext++
+	return p
 }
 
 // Put returns a packet to the free list. The caller must not use p

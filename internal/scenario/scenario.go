@@ -103,6 +103,12 @@ type Spec struct {
 	// Results are bit-identical either way; the determinism tests
 	// cross-check the two modes.
 	DisablePacketPool bool
+
+	// UseMapScoreboard runs every sender's SACK scoreboard on the
+	// reference hash-map implementation instead of the default ring
+	// buffer. Results are bit-identical either way; the differential
+	// tests cross-check the two modes.
+	UseMapScoreboard bool
 }
 
 // Result reports one flow's outcome.
@@ -184,6 +190,11 @@ func Build(spec Spec) (*netsim.Network, []queue.Discipline) {
 	}
 	if spec.DisablePacketPool {
 		nw.Pool.Disable()
+	}
+	if spec.UseMapScoreboard {
+		for _, f := range nw.Flows {
+			f.Sender.UseMapScoreboard()
+		}
 	}
 	return nw, queues
 }

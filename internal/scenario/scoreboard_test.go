@@ -1,0 +1,34 @@
+package scenario
+
+import "testing"
+
+// TestRingScoreboardMatchesMap proves the ring-buffer SACK scoreboard
+// is behaviorally invisible end to end: for identical seeds, a run on
+// the default ring scoreboard produces flow results bit-identical to a
+// run on the reference map scoreboard, across every scenario shape that
+// exercises loss recovery (drop-tail overflow, AQM drops, RemyCC,
+// parking lot).
+func TestRingScoreboardMatchesMap(t *testing.T) {
+	for name, mk := range pooledVariants() {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				ring := mk(seed)
+				res1 := Run(ring)
+
+				ref := mk(seed)
+				ref.UseMapScoreboard = true
+				res2 := Run(ref)
+
+				if len(res1) != len(res2) {
+					t.Fatalf("seed %d: result counts differ: %d vs %d", seed, len(res1), len(res2))
+				}
+				for i := range res1 {
+					if res1[i] != res2[i] {
+						t.Fatalf("seed %d flow %d: ring %+v != map %+v",
+							seed, i, res1[i], res2[i])
+					}
+				}
+			}
+		})
+	}
+}

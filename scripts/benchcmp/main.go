@@ -1,0 +1,104 @@
+// Command benchcmp compares two BENCH_core.json files (as written by
+// scripts/bench.sh) and exits non-zero when the fresh run regresses
+// against the baseline:
+//
+//   - ns/op more than -tolerance-pct percent above the baseline, or
+//   - any allocs/op on a benchmark whose baseline is allocation-free
+//     (the 0-alloc hot paths are a hard invariant, not a budget), or
+//   - a baseline benchmark missing from the fresh run (lost coverage).
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-tolerance-pct 10] baseline.json fresh.json
+//
+// It always prints a comparison table; CI runs it via
+// scripts/bench.sh --compare BENCH_core.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// entry mirrors one element of BENCH_core.json.
+type entry struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, []entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []entry
+	if err := json.Unmarshal(raw, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]entry, len(list))
+	for _, e := range list {
+		m[e.Name] = e
+	}
+	return m, list, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance-pct", 10, "allowed ns/op growth in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tolerance-pct N] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	_, baseList, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	fresh, _, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	fmt.Printf("%-34s %14s %14s %8s %12s\n", "benchmark", "base ns/op", "fresh ns/op", "Δ%", "allocs b→f")
+	for _, b := range baseList {
+		f, ok := fresh[b.Name]
+		if !ok {
+			fmt.Printf("%-34s MISSING from fresh run\n", b.Name)
+			failures++
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		verdict := ""
+		regressed := false
+		if delta > *tolerance {
+			verdict = "  REGRESSION: ns/op"
+			regressed = true
+		}
+		if b.AllocsOp == 0 && f.AllocsOp > 0 {
+			verdict += "  REGRESSION: 0-alloc path now allocates"
+			regressed = true
+		} else if f.AllocsOp > b.AllocsOp {
+			verdict += "  (note: allocs/op grew)"
+		}
+		if regressed {
+			failures++
+		}
+		fmt.Printf("%-34s %14.1f %14.1f %+7.1f%% %5.0f→%-5.0f%s\n",
+			b.Name, b.NsPerOp, f.NsPerOp, delta, b.AllocsOp, f.AllocsOp, verdict)
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchcmp: %d regression(s) beyond %.0f%% tolerance\n", failures, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcmp: no regressions")
+}

@@ -1,0 +1,174 @@
+// Command lintcomments enforces the repo's godoc convention: every
+// exported identifier in the packages it is pointed at — package
+// clauses, top-level types, funcs, consts, vars, methods on exported
+// types, exported struct fields, and exported interface methods — must
+// carry a doc comment. A const/var group's declaration comment covers
+// its members; a struct field or interface method may use either a
+// leading doc comment or a trailing line comment.
+//
+// Usage:
+//
+//	go run ./scripts/lintcomments ./internal/sim ./internal/netsim ...
+//
+// CI runs it over the documented packages so the godoc pass stays true
+// as the code evolves; exit status is non-zero if anything exported is
+// undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintcomments PKGDIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintcomments: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks every non-test Go file in dir and returns the number
+// of violations found.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintcomments: %v\n", err)
+		os.Exit(2)
+	}
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: %s has no doc comment\n", fset.Position(pos), what)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			for _, f := range pkg.Files {
+				report(f.Package, "package "+pkg.Name)
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lintDecl(report, decl)
+			}
+		}
+	}
+	return bad
+}
+
+// lintDecl checks one top-level declaration, reporting each
+// undocumented exported identifier it declares.
+func lintDecl(report func(token.Pos, string), decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if d.Recv != nil {
+			recv := receiverTypeName(d.Recv)
+			if !ast.IsExported(recv) {
+				return // method on an unexported type is not exported API
+			}
+			report(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+			return
+		}
+		report(d.Pos(), "func "+d.Name.Name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() {
+					if sp.Doc == nil && d.Doc == nil {
+						report(sp.Pos(), "type "+sp.Name.Name)
+					}
+					lintTypeBody(report, sp)
+				}
+			case *ast.ValueSpec:
+				// A group doc ("// Supported topologies.") covers its
+				// members; otherwise each exported spec needs its own
+				// doc or trailing comment.
+				if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+					continue
+				}
+				for _, name := range sp.Names {
+					if name.IsExported() {
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						report(name.Pos(), kind+" "+name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lintTypeBody checks exported struct fields and interface methods of
+// an exported type.
+func lintTypeBody(report func(token.Pos, string), sp *ast.TypeSpec) {
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			if field.Doc != nil || field.Comment != nil {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.IsExported() {
+					report(name.Pos(), fmt.Sprintf("field %s.%s", sp.Name.Name, name.Name))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc != nil || m.Comment != nil {
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					report(name.Pos(), fmt.Sprintf("interface method %s.%s", sp.Name.Name, name.Name))
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName extracts the base type name of a method receiver.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if gen, ok := t.(*ast.IndexExpr); ok {
+		t = gen.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

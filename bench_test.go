@@ -12,6 +12,7 @@
 package learnability_test
 
 import (
+	"fmt"
 	"testing"
 
 	"learnability"
@@ -178,6 +179,52 @@ func BenchmarkTrainer(b *testing.B) {
 		if tree.Len() == 0 {
 			b.Fatal("empty tree")
 		}
+	}
+}
+
+// BenchmarkTrainerSharded measures generation sharding at fixed
+// per-shard parallelism: every shard evaluates its slice of the
+// generation with a single worker, so wall time falls as shards rise
+// on a multi-core runner. shards-1 is the single-worker in-process
+// trainer (no shard machinery) — the scaling baseline. The sharded
+// runs use in-process lanes: the same job slicing, codec, and merge
+// path as worker processes, without cold-start noise from spawning
+// binaries inside the benchmark loop.
+func BenchmarkTrainerSharded(b *testing.B) {
+	cfg := learnability.TrainConfig{
+		Topology:     learnability.DumbbellTopology,
+		LinkSpeedMin: 10 * learnability.Mbps,
+		LinkSpeedMax: 100 * learnability.Mbps,
+		MinRTTMin:    150 * learnability.Millisecond,
+		MinRTTMax:    150 * learnability.Millisecond,
+		SendersMin:   2,
+		SendersMax:   2,
+		MeanOn:       learnability.Second,
+		MeanOff:      learnability.Second,
+		Buffering:    learnability.FiniteDropTail,
+		BufferBDP:    5,
+		Delta:        1,
+		Duration:     5 * learnability.Second,
+		Replicas:     4,
+	}
+	// Sub-benchmark names must not end in a digit: bench.sh strips a
+	// trailing -N (the GOMAXPROCS suffix) when building BENCH_core.json.
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := &learnability.Trainer{
+					Cfg:          cfg,
+					Seed:         uint64(i),
+					Workers:      1,
+					Shards:       shards,
+					ShardWorkers: 1,
+				}
+				tree := tr.Train(learnability.TrainBudget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2})
+				if tree.Len() == 0 {
+					b.Fatal("empty tree")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,39 @@
+// Command remyshard is the worker half of multi-process training: it
+// serves shard jobs over a length-prefixed JSON protocol on
+// stdin/stdout until the coordinator closes the pipe. remytrain spawns
+// one remyshard per shard:
+//
+//	remytrain -shards 4 -shard-cmd remyshard ...
+//
+// Each job is self-contained (config, candidate trees, the seed and
+// generation from which the scenario draws are re-derived), so a
+// worker holds no state between jobs and a killed worker costs only a
+// requeue. Setting REMY_SHARD_DIE_AFTER=N makes the worker crash after
+// N jobs — a chaos knob for exercising the coordinator's requeue path
+// against real processes.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"learnability/internal/remy"
+	"learnability/internal/remy/shard"
+)
+
+func main() {
+	opts := shard.ServeOpts{}
+	if s := os.Getenv("REMY_SHARD_DIE_AFTER"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "remyshard: bad REMY_SHARD_DIE_AFTER %q\n", s)
+			os.Exit(2)
+		}
+		opts.DieAfter = n
+	}
+	if err := remy.ServeShard(os.Stdin, os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "remyshard:", err)
+		os.Exit(1)
+	}
+}

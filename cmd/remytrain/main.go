@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"learnability/internal/cc/remycc"
 	"learnability/internal/remy"
@@ -41,6 +42,10 @@ func main() {
 		dur        = flag.Float64("duration", 12, "simulated seconds per training run")
 		seed       = flag.Uint64("seed", 1, "training seed")
 		workers    = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		shards     = flag.Int("shards", 1, "shard each generation across N workers (1 = in-process); output is bit-identical for any N")
+		shardCmd   = flag.String("shard-cmd", "", "worker command for -shards (e.g. 'remyshard'); empty runs shard jobs in-process")
+		shardWkrs  = flag.Int("shard-workers", 0, "parallel simulations per shard (0 = NumCPU/shards)")
+		shardTmo   = flag.Duration("shard-timeout", 0, "kill and requeue a shard job after this long (e.g. 10m); 0 waits forever — set it to survive hung (not just crashed) workers")
 		out        = flag.String("o", "tao.json", "output file for the whisker tree")
 		verbose    = flag.Bool("v", true, "stream search progress")
 	)
@@ -89,7 +94,15 @@ func main() {
 		Replicas:     *replicas,
 	}
 
-	tr := &remy.Trainer{Cfg: cfg, Seed: *seed, Workers: *workers}
+	tr := &remy.Trainer{
+		Cfg:          cfg,
+		Seed:         *seed,
+		Workers:      *workers,
+		Shards:       *shards,
+		ShardCmd:     strings.Fields(*shardCmd),
+		ShardWorkers: *shardWkrs,
+		ShardTimeout: *shardTmo,
+	}
 	if *verbose {
 		tr.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}

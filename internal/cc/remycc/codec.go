@@ -1,0 +1,113 @@
+package remycc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Stable binary codec for whisker trees. The JSON form (whisker.go) is
+// the human-facing interchange format; this codec is the machine-facing
+// one: a fixed little-endian layout whose bytes depend only on the
+// whisker values, so two trees are behaviorally identical exactly when
+// their encodings are byte-equal. The shard trainer uses it both to
+// ship candidate trees to worker processes and to assert the headline
+// guarantee that sharded training reproduces in-process training
+// bit-for-bit (internal/remy's differential tests compare encodings).
+
+// treeMagic identifies a binary-encoded tree ("RTRE" little-endian).
+const treeMagic = uint32('R') | uint32('T')<<8 | uint32('R')<<16 | uint32('E')<<24
+
+// treeCodecVersion is bumped whenever the binary layout changes.
+const treeCodecVersion = 1
+
+// treeHeaderSize is the fixed prefix: magic, version, whisker count.
+const treeHeaderSize = 4 + 4 + 4
+
+// whiskerWireSize is one whisker on the wire: the domain box (Lo and
+// Hi vectors) followed by the action triplet, all float64 bits.
+const whiskerWireSize = (2*NumSignals + 3) * 8
+
+// MarshalBinary implements encoding.BinaryMarshaler with a
+// deterministic layout: header, then per whisker Domain.Lo,
+// Domain.Hi, WindowMult, WindowIncr, Intersend as little-endian IEEE
+// 754 bits. Equal trees always produce equal bytes.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, treeHeaderSize+len(t.Whiskers)*whiskerWireSize)
+	buf = binary.LittleEndian.AppendUint32(buf, treeMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, treeCodecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Whiskers)))
+	f := func(b []byte, v float64) []byte {
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for i := range t.Whiskers {
+		w := &t.Whiskers[i]
+		for d := 0; d < NumSignals; d++ {
+			buf = f(buf, w.Domain.Lo[d])
+		}
+		for d := 0; d < NumSignals; d++ {
+			buf = f(buf, w.Domain.Hi[d])
+		}
+		buf = f(buf, w.Action.WindowMult)
+		buf = f(buf, w.Action.WindowIncr)
+		buf = f(buf, w.Action.Intersend)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for the layout
+// written by MarshalBinary and rebuilds the lookup index. It performs
+// structural validation (magic, version, length, NaN-free actions) but
+// not the full partition check — binary trees travel between the shard
+// coordinator and its workers, which already hold a validated tree.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	if len(data) < treeHeaderSize {
+		return fmt.Errorf("remycc: binary tree truncated (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data); m != treeMagic {
+		return fmt.Errorf("remycc: bad tree magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != treeCodecVersion {
+		return fmt.Errorf("remycc: unsupported tree codec version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	if n == 0 {
+		return fmt.Errorf("remycc: binary tree has no whiskers")
+	}
+	if want := treeHeaderSize + n*whiskerWireSize; len(data) != want {
+		return fmt.Errorf("remycc: binary tree is %d bytes, want %d for %d whiskers", len(data), want, n)
+	}
+	body := data[treeHeaderSize:]
+	f := func(i int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	whiskers := make([]Whisker, n)
+	for i := range whiskers {
+		base := i * (2*NumSignals + 3)
+		w := &whiskers[i]
+		for d := 0; d < NumSignals; d++ {
+			w.Domain.Lo[d] = f(base + d)
+		}
+		for d := 0; d < NumSignals; d++ {
+			w.Domain.Hi[d] = f(base + NumSignals + d)
+		}
+		w.Action.WindowMult = f(base + 2*NumSignals)
+		w.Action.WindowIncr = f(base + 2*NumSignals + 1)
+		w.Action.Intersend = f(base + 2*NumSignals + 2)
+		if math.IsNaN(w.Action.WindowMult) || math.IsNaN(w.Action.WindowIncr) || math.IsNaN(w.Action.Intersend) {
+			return fmt.Errorf("remycc: whisker %d has NaN action", i)
+		}
+	}
+	t.Whiskers = whiskers
+	t.buildIndex()
+	return nil
+}
+
+// DecodeTree decodes a tree written by MarshalBinary.
+func DecodeTree(data []byte) (*Tree, error) {
+	t := &Tree{}
+	if err := t.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package netsim
+
+// Out-of-order receive buffer. The receiver tracks which sequences
+// above the cumulative point have arrived so it can advance the
+// cumulative ACK when a gap fills. The seed kept a map[int64]bool; on
+// reorder-heavy runs that map was the receiver's only remaining
+// allocation source (ROADMAP, after PR 2). The implementation here
+// mirrors the sender's ring scoreboard (scoreboard.go): one presence
+// bit per sequence in a power-of-two ring that slides with the
+// cumulative point, giving O(1) add/test with zero steady-state
+// allocation. A map-based reference implementation lives in
+// ooo_test.go, where a property test drives both through random
+// reorder traces and requires identical observations.
+
+// ringOoo is the receiver's buffer: one presence flag per sequence in a
+// power-of-two ring indexed by seq&mask. The window of trackable
+// sequences [base, base+len) slides with the cumulative point; the
+// ring doubles when an arrival lands beyond it, so it converges on the
+// flow's largest reorder window and never allocates again.
+type ringOoo struct {
+	present []bool
+	mask    int64 // len(present)-1; len is a power of two
+	base    int64 // flags cover [base, base+len)
+}
+
+// ringOooMinCap is the initial ring capacity in packets; deeper
+// reorder windows double their way up once.
+const ringOooMinCap = 64
+
+func newRingOoo() *ringOoo {
+	return &ringOoo{
+		present: make([]bool, ringOooMinCap),
+		mask:    ringOooMinCap - 1,
+	}
+}
+
+func (r *ringOoo) add(seq int64) {
+	if seq < r.base {
+		return
+	}
+	for seq >= r.base+int64(len(r.present)) {
+		r.grow()
+	}
+	r.present[seq&r.mask] = true
+}
+
+func (r *ringOoo) has(seq int64) bool {
+	if seq < r.base || seq >= r.base+int64(len(r.present)) {
+		return false
+	}
+	return r.present[seq&r.mask]
+}
+
+func (r *ringOoo) remove(seq int64) {
+	if seq < r.base || seq >= r.base+int64(len(r.present)) {
+		return
+	}
+	r.present[seq&r.mask] = false
+}
+
+func (r *ringOoo) advance(newBase int64) {
+	// Entries past base+len were never materialized, so only the
+	// stored span needs clearing.
+	end := newBase
+	if limit := r.base + int64(len(r.present)); end > limit {
+		end = limit
+	}
+	for seq := r.base; seq < end; seq++ {
+		r.present[seq&r.mask] = false
+	}
+	if newBase > r.base {
+		r.base = newBase
+	}
+}
+
+// grow doubles the ring, re-seating live entries at their new masked
+// positions.
+func (r *ringOoo) grow() {
+	old := r.present
+	oldMask := r.mask
+	r.present = make([]bool, 2*len(old))
+	r.mask = int64(len(r.present)) - 1
+	for seq := r.base; seq < r.base+int64(len(old)); seq++ {
+		r.present[seq&r.mask] = old[seq&oldMask]
+	}
+}
+
+// size counts recorded sequences (tests and invariant checks; not on
+// the per-packet path).
+func (r *ringOoo) size() int {
+	n := 0
+	for _, p := range r.present {
+		if p {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+
+	"learnability/internal/rng"
+)
+
+// oooBuffer is the contract the property test holds the ring and the
+// map reference to: presence tracking for sequences in [base, ∞),
+// where base is the lowest sequence the receiver still cares about
+// (one past the cumulative point).
+type oooBuffer interface {
+	add(seq int64)
+	has(seq int64) bool
+	remove(seq int64)
+	advance(newBase int64)
+	size() int
+}
+
+// mapOoo is the seed's hash-map buffer, kept (test-only) as the
+// reference implementation the property test compares the ring
+// against.
+type mapOoo struct {
+	m    map[int64]bool
+	base int64
+}
+
+func newMapOoo() *mapOoo {
+	return &mapOoo{m: make(map[int64]bool)}
+}
+
+func (s *mapOoo) add(seq int64) {
+	if seq < s.base {
+		return
+	}
+	s.m[seq] = true
+}
+
+func (s *mapOoo) has(seq int64) bool { return s.m[seq] }
+
+func (s *mapOoo) remove(seq int64) { delete(s.m, seq) }
+
+func (s *mapOoo) advance(newBase int64) {
+	for seq := range s.m {
+		if seq < newBase {
+			delete(s.m, seq)
+		}
+	}
+	if newBase > s.base {
+		s.base = newBase
+	}
+}
+
+func (s *mapOoo) size() int { return len(s.m) }
+
+// oooReceiver replays the receiver's cumulative-ACK logic over an
+// oooBuffer: one arrival per step, returning the new cumulative point.
+// Both implementations must trace identically through it.
+type oooReceiver struct {
+	cum int64
+	buf oooBuffer
+}
+
+func (r *oooReceiver) deliver(seq int64) int64 {
+	switch {
+	case seq == r.cum+1:
+		r.cum++
+		for r.buf.has(r.cum + 1) {
+			r.buf.remove(r.cum + 1)
+			r.cum++
+		}
+		r.buf.advance(r.cum + 1)
+	case seq > r.cum:
+		r.buf.add(seq)
+	}
+	return r.cum
+}
+
+// reorderTrace builds an arrival sequence for packets 0..n-1 with
+// bounded random displacement plus duplicates: the kind of stream a
+// congested path with retransmissions produces.
+func reorderTrace(r *rng.Stream, n, depth int) []int64 {
+	trace := make([]int64, n)
+	for i := range trace {
+		trace[i] = int64(i)
+	}
+	for i := range trace {
+		j := i + r.Intn(depth)
+		if j >= len(trace) {
+			j = len(trace) - 1
+		}
+		trace[i], trace[j] = trace[j], trace[i]
+	}
+	// Sprinkle duplicates of already-sent sequences.
+	for k := 0; k < n/10; k++ {
+		i := 1 + r.Intn(n-1)
+		trace = append(trace, trace[r.Intn(i)])
+	}
+	return trace
+}
+
+// TestOooRingMatchesMap drives the ring and map buffers through the
+// same random reorder traces and requires identical cumulative points,
+// identical membership on random probes, and identical sizes at every
+// step.
+func TestOooRingMatchesMap(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + r.Intn(400)
+		depth := 1 + r.Intn(100)
+		trace := reorderTrace(r, n, depth)
+
+		ring := &oooReceiver{cum: -1, buf: newRingOoo()}
+		ref := &oooReceiver{cum: -1, buf: newMapOoo()}
+		for step, seq := range trace {
+			rc, mc := ring.deliver(seq), ref.deliver(seq)
+			if rc != mc {
+				t.Fatalf("trial %d step %d (seq %d): ring cum %d, map cum %d", trial, step, seq, rc, mc)
+			}
+			if rs, ms := ring.buf.size(), ref.buf.size(); rs != ms {
+				t.Fatalf("trial %d step %d: ring size %d, map size %d", trial, step, rs, ms)
+			}
+			probe := int64(r.Intn(n))
+			if rh, mh := ring.buf.has(probe), ref.buf.has(probe); rh != mh {
+				t.Fatalf("trial %d step %d: has(%d) ring %v, map %v", trial, step, probe, rh, mh)
+			}
+		}
+		// Every in-order-complete trace must end fully delivered.
+		if ring.cum != int64(n-1) {
+			t.Fatalf("trial %d: final cum %d, want %d", trial, ring.cum, n-1)
+		}
+		if ring.buf.size() != 0 {
+			t.Fatalf("trial %d: %d stale entries left in ring", trial, ring.buf.size())
+		}
+	}
+}
+
+// TestOooRingGrowth forces deep reordering so the ring must double
+// several times, and checks membership survives each growth.
+func TestOooRingGrowth(t *testing.T) {
+	ring := newRingOoo()
+	ref := newMapOoo()
+	// Hold back seq 0 so the base never advances while adds land far
+	// beyond the initial 64-entry capacity.
+	r := rng.New(5)
+	var added []int64
+	for i := 0; i < 200; i++ {
+		seq := int64(1 + r.Intn(4096))
+		ring.add(seq)
+		ref.add(seq)
+		added = append(added, seq)
+	}
+	for _, seq := range added {
+		if !ring.has(seq) {
+			t.Fatalf("ring lost seq %d across growth", seq)
+		}
+	}
+	if ring.size() != ref.size() {
+		t.Fatalf("ring size %d, map size %d", ring.size(), ref.size())
+	}
+	// Advancing past everything empties the ring.
+	ring.advance(5000)
+	ref.advance(5000)
+	if ring.size() != 0 || ref.size() != 0 {
+		t.Fatalf("advance left entries: ring %d, map %d", ring.size(), ref.size())
+	}
+	if ring.has(3000) {
+		t.Fatal("has() true after advance")
+	}
+}

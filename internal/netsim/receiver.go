@@ -25,7 +25,7 @@ type Receiver struct {
 	pool     *packet.Pool
 
 	cum int64 // highest in-order sequence received; -1 initially
-	ooo map[int64]bool
+	ooo *ringOoo
 
 	// ackQ holds ACKs in flight on the reverse path, in arrival order.
 	ackQ      pktRing
@@ -41,7 +41,7 @@ func NewReceiver(sched *sim.Scheduler, flow int, ackDelay units.Duration, stats 
 		ackDelay: ackDelay,
 		stats:    stats,
 		cum:      -1,
-		ooo:      make(map[int64]bool),
+		ooo:      newRingOoo(),
 	}
 	r.deliverFn = r.deliverAck
 	return r
@@ -74,13 +74,16 @@ func (r *Receiver) Deliver(now units.Time, p *packet.Packet) {
 	case p.Seq == r.cum+1:
 		r.cum++
 		r.stats.DeliveredBytes += int64(p.Size)
-		for r.ooo[r.cum+1] {
-			delete(r.ooo, r.cum+1)
+		for r.ooo.has(r.cum + 1) {
+			r.ooo.remove(r.cum + 1)
 			r.cum++
 			r.stats.DeliveredBytes += int64(packet.MTU)
 		}
+		// Slide the ring's window so its capacity tracks the reorder
+		// depth, not the total stream length.
+		r.ooo.advance(r.cum + 1)
 	case p.Seq > r.cum:
-		r.ooo[p.Seq] = true
+		r.ooo.add(p.Seq)
 	default:
 		// Duplicate of already-delivered data; ACK it anyway (the
 		// cumulative ack re-synchronizes the sender).

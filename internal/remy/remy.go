@@ -16,9 +16,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"learnability/internal/cc/newreno"
 	"learnability/internal/cc/remycc"
+	"learnability/internal/remy/shard"
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
 	"learnability/internal/stats"
@@ -51,6 +53,8 @@ type Config struct {
 
 	// Buffering and BufferBDP configure the gateway queues.
 	Buffering scenario.Buffering
+	// BufferBDP is the gateway buffer depth in bandwidth-delay
+	// products.
 	BufferBDP float64
 
 	// Delta is the trainee's objective weight.
@@ -65,10 +69,15 @@ type Config struct {
 	// (co-optimization, §4.6). OtherCountMin..Max senders run Other
 	// with objective weight OtherDelta; their objective is added to
 	// the trainee's when IncludeOtherInObjective is set.
-	Other                   *remycc.Tree
-	OtherDelta              float64
-	OtherCountMin           int
-	OtherCountMax           int
+	Other *remycc.Tree
+	// OtherDelta is the partner protocol's objective weight.
+	OtherDelta float64
+	// OtherCountMin is the minimum number of partner senders drawn.
+	OtherCountMin int
+	// OtherCountMax is the maximum number of partner senders drawn.
+	OtherCountMax int
+	// IncludeOtherInObjective adds the partner senders' objective to
+	// the trainee's.
 	IncludeOtherInObjective bool
 
 	// Duration is the simulated time per training run.
@@ -155,6 +164,20 @@ func (c *Config) sample(r *rng.Stream) draw {
 	return d
 }
 
+// generationDraws derives one generation's common scenario draws from
+// the training seed. It is the single source of the draw-derivation
+// sequence: the local path and the shard worker (EvalShardJob) both
+// call it, so the two can never diverge — a pillar of the guarantee
+// that sharded training is bit-identical to in-process training.
+func (c *Config) generationDraws(seed uint64, gen int) []draw {
+	root := rng.New(seed).SplitN("generation", gen)
+	draws := make([]draw, c.Replicas)
+	for k := range draws {
+		draws[k] = c.sample(root.SplitN("replica", k))
+	}
+	return draws
+}
+
 // evalOne runs the candidate tree on one scenario draw, accumulating
 // whisker usage into the caller-provided buffer (reset here), and
 // returns the draw's objective.
@@ -218,8 +241,12 @@ func (c *Config) evalOne(tree *remycc.Tree, d draw, usage *remycc.UsageStats) fl
 // Trainer runs the Remy search. Candidate evaluations are fanned out
 // across a persistent worker pool that lives for the duration of one
 // Train call, instead of spawning goroutines per evaluation; per-replica
-// UsageStats buffers are recycled across the whole search.
+// UsageStats buffers are recycled across the whole search. With Shards
+// set, whole generations are instead sliced into self-contained jobs
+// and distributed across shard workers (see sharding.go); the result is
+// bit-identical either way.
 type Trainer struct {
+	// Cfg is the training-scenario distribution and objective.
 	Cfg Config
 	// Workers bounds concurrent simulations (default: NumCPU).
 	Workers int
@@ -227,6 +254,23 @@ type Trainer struct {
 	Seed uint64
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+
+	// Shards, when > 1 (or when ShardCmd is set), distributes every
+	// evaluation batch across that many shard jobs instead of the
+	// in-process worker pool. Training output is bit-identical to the
+	// in-process trainer for the same Seed and Budget.
+	Shards int
+	// ShardCmd is the worker argv (e.g. {"remyshard"}) spawned once
+	// per shard for the duration of Train. Empty runs shard jobs
+	// in-process on goroutine lanes — the same slicing and merge path
+	// without the processes.
+	ShardCmd []string
+	// ShardWorkers bounds each shard's internal parallelism. 0 divides
+	// NumCPU evenly across shards.
+	ShardWorkers int
+	// ShardTimeout bounds one shard job round-trip; an expired job's
+	// worker is killed and the job requeued. 0 means no limit.
+	ShardTimeout time.Duration
 
 	// jobs feeds the worker pool while Train is running. When nil
 	// (evaluate called outside Train, as some tests do), work runs
@@ -238,6 +282,16 @@ type Trainer struct {
 	// submitted and returned after the batch completes), so it is
 	// unsynchronized.
 	statsFree []*remycc.UsageStats
+
+	// shards is the live shard pool while a sharded Train is running
+	// (see startShards); nil otherwise.
+	shards *shard.Pool
+	// shardCfg caches the generation-invariant config encoding shipped
+	// in every shard job.
+	shardCfg []byte
+	// shardJobID numbers jobs so results can be matched to requests
+	// across the wire.
+	shardJobID uint64
 }
 
 // Budget bounds the search effort.
@@ -337,17 +391,54 @@ func (t *Trainer) putUsage(u *remycc.UsageStats) {
 
 // evaluateBatch scores several candidate trees on the generation's
 // common scenario draws (common random numbers: every candidate sees
-// the same draws), fanning all tree x replica simulations across the
-// worker pool at once. It returns the mean objective per tree and, when
-// usageFor is a valid index, the merged whisker usage of that tree.
+// the same draws). The tree x replica slot space is filled either by
+// the in-process worker pool or by the shard pool; both paths land in
+// the same flat scores array and per-replica usage list, and the
+// reduction below is shared, so the sharded and in-process trainers
+// perform the identical sequence of float operations — the root of the
+// bit-equality guarantee. It returns the mean objective per tree and,
+// when usageFor is a valid index, the merged whisker usage of that
+// tree.
 func (t *Trainer) evaluateBatch(cfg Config, trees []*remycc.Tree, gen, usageFor int) ([]float64, *remycc.UsageStats) {
-	root := rng.New(t.Seed).SplitN("generation", gen)
-	draws := make([]draw, cfg.Replicas)
-	for k := range draws {
-		draws[k] = cfg.sample(root.SplitN("replica", k))
+	if usageFor < 0 || usageFor >= len(trees) {
+		usageFor = -1
+	}
+	scores := make([]float64, len(trees)*cfg.Replicas)
+	var usageK []*remycc.UsageStats // per-replica usage of trees[usageFor]
+	var recycle []*remycc.UsageStats
+	if t.shards != nil {
+		usageK = t.evaluateSharded(cfg, trees, gen, usageFor, scores)
+	} else {
+		usageK, recycle = t.evaluateLocal(cfg, trees, gen, usageFor, scores)
 	}
 
-	scores := make([]float64, len(trees)*cfg.Replicas)
+	means := make([]float64, len(trees))
+	for ti := range trees {
+		total := 0.0
+		for k := 0; k < cfg.Replicas; k++ {
+			total += scores[ti*cfg.Replicas+k]
+		}
+		means[ti] = total / float64(cfg.Replicas)
+	}
+	var usage *remycc.UsageStats
+	if usageFor >= 0 {
+		usage = remycc.NewUsageStats(trees[usageFor].Len())
+		for k := 0; k < cfg.Replicas; k++ {
+			usage.Merge(usageK[k])
+		}
+	}
+	for _, u := range recycle {
+		t.putUsage(u)
+	}
+	return means, usage
+}
+
+// evaluateLocal fills scores with every tree x replica objective using
+// the in-process worker pool. It returns the per-replica usage slice
+// for trees[usageFor] (nil when usageFor is -1) and the full buffer
+// list for recycling after the caller has merged.
+func (t *Trainer) evaluateLocal(cfg Config, trees []*remycc.Tree, gen, usageFor int, scores []float64) (usageK, recycle []*remycc.UsageStats) {
+	draws := cfg.generationDraws(t.Seed, gen)
 	usages := make([]*remycc.UsageStats, len(trees)*cfg.Replicas)
 	var wg sync.WaitGroup
 	for ti, tree := range trees {
@@ -363,25 +454,10 @@ func (t *Trainer) evaluateBatch(cfg Config, trees []*remycc.Tree, gen, usageFor 
 	}
 	wg.Wait()
 
-	means := make([]float64, len(trees))
-	for ti := range trees {
-		total := 0.0
-		for k := 0; k < cfg.Replicas; k++ {
-			total += scores[ti*cfg.Replicas+k]
-		}
-		means[ti] = total / float64(cfg.Replicas)
+	if usageFor >= 0 {
+		usageK = usages[usageFor*cfg.Replicas : (usageFor+1)*cfg.Replicas]
 	}
-	var usage *remycc.UsageStats
-	if usageFor >= 0 && usageFor < len(trees) {
-		usage = remycc.NewUsageStats(trees[usageFor].Len())
-		for k := 0; k < cfg.Replicas; k++ {
-			usage.Merge(usages[usageFor*cfg.Replicas+k])
-		}
-	}
-	for _, u := range usages {
-		t.putUsage(u)
-	}
-	return means, usage
+	return usageK, usages
 }
 
 // evaluate scores a tree on the generation's common scenario draws and
@@ -426,6 +502,10 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 	b = b.normalize()
 	stop := t.startPool()
 	defer stop()
+	if t.Shards > 1 || len(t.ShardCmd) > 0 {
+		stopShards := t.startShards(cfg)
+		defer stopShards()
+	}
 	tree := remycc.NewTree()
 	if cfg.DisablePacing {
 		a := tree.Action(0)

@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool fans shard jobs out over a fixed set of worker lanes and merges
+// results by batch position, so the caller sees deterministic output
+// regardless of which lane finished which job when. Each lane is
+// either a worker process (Cmd set) or an in-process fallback call
+// (Cmd empty — the local mode cmd/remytrain uses when no -shard-cmd is
+// given). A lane whose process crashes, writes garbage, or exceeds
+// Timeout is restarted and its job requeued for any other lane; after
+// MaxAttempts process deliveries the job is evaluated in-process, so a
+// batch always completes with the same bits.
+type Pool struct {
+	// Lanes is the number of concurrent workers (the shard count).
+	Lanes int
+	// Cmd is the worker argv (e.g. {"remyshard"}). Empty means every
+	// lane evaluates in-process via Fallback.
+	Cmd []string
+	// Fallback evaluates a job in-process: the local mode's evaluator
+	// and the requeue path of last resort. Required.
+	Fallback Eval
+	// Timeout bounds one job round-trip on a process lane; 0 means no
+	// limit. An expired job's process is killed and the job requeued.
+	Timeout time.Duration
+	// MaxAttempts is the number of process deliveries per job before
+	// the pool falls back to in-process evaluation (default 3).
+	MaxAttempts int
+
+	procs []*workerProc // one per lane in process mode; nil entries after spawn failure
+}
+
+// workerProc is one live worker process and its pipes.
+type workerProc struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Reader
+}
+
+// Start spawns the worker processes (no-op in local mode). A spawn
+// failure stops the pool and is returned: a bad worker command should
+// fail loudly at startup, not degrade silently.
+func (p *Pool) Start() error {
+	if p.Lanes <= 0 {
+		p.Lanes = 1
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Fallback == nil {
+		return fmt.Errorf("shard: pool needs a Fallback evaluator")
+	}
+	if len(p.Cmd) == 0 {
+		return nil
+	}
+	p.procs = make([]*workerProc, p.Lanes)
+	for i := range p.procs {
+		proc, err := p.spawn()
+		if err != nil {
+			p.Close()
+			return fmt.Errorf("shard: spawn worker %d: %w", i, err)
+		}
+		p.procs[i] = proc
+	}
+	return nil
+}
+
+// spawn launches one worker process wired for frame I/O.
+func (p *Pool) spawn() (*workerProc, error) {
+	cmd := exec.Command(p.Cmd[0], p.Cmd[1:]...)
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &workerProc{cmd: cmd, in: in, out: bufio.NewReader(out)}, nil
+}
+
+// stop kills and reaps one worker process.
+func (w *workerProc) stop() {
+	w.in.Close()
+	w.cmd.Process.Kill()
+	w.cmd.Wait()
+}
+
+// Close shuts down every worker process. The pool can be restarted
+// with Start afterwards.
+func (p *Pool) Close() {
+	for i, proc := range p.procs {
+		if proc != nil {
+			proc.stop()
+			p.procs[i] = nil
+		}
+	}
+	p.procs = nil
+}
+
+// roundTrip sends a job to a worker process and reads its result,
+// enforcing the pool timeout by killing the process (which errors the
+// pending read).
+func (p *Pool) roundTrip(proc *workerProc, job *Job) (*Result, error) {
+	if p.Timeout > 0 {
+		timer := time.AfterFunc(p.Timeout, func() { proc.cmd.Process.Kill() })
+		defer timer.Stop()
+	}
+	if err := WriteFrame(proc.in, job); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if err := ReadFrame(proc.out, res); err != nil {
+		return nil, err
+	}
+	if res.ID != job.ID {
+		return nil, fmt.Errorf("shard: worker answered job %d with result %d", job.ID, res.ID)
+	}
+	return res, nil
+}
+
+// Do evaluates a batch of jobs and returns their results in batch
+// order. It blocks until every job has a result (or a deterministic
+// evaluation error surfaces). Jobs are handed to free lanes as they
+// come; crashes and timeouts requeue the job, so completion order
+// never affects the merged output.
+func (p *Pool) Do(jobs []*Job) ([]*Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	queue := make(chan *Job, len(jobs))
+	for i, job := range jobs {
+		job.index = i
+		job.attempts = 0
+		queue <- job
+	}
+
+	results := make([]*Result, len(jobs))
+	remaining := int64(len(jobs))
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		finish()
+	}
+	deliver := func(job *Job, res *Result) {
+		if res.Err != "" {
+			fail(fmt.Errorf("shard: job %d failed: %s", job.ID, res.Err))
+			return
+		}
+		results[job.index] = res
+		if atomic.AddInt64(&remaining, -1) == 0 {
+			finish()
+		}
+	}
+
+	lanes := p.Lanes
+	if lanes > len(jobs) {
+		lanes = len(jobs)
+	}
+	var wg sync.WaitGroup
+	wg.Add(lanes)
+	for lane := 0; lane < lanes; lane++ {
+		go func(lane int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case job := <-queue:
+					p.runJob(lane, job, deliver, queue)
+				}
+			}
+		}(lane)
+	}
+	<-done
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runJob executes one job on a lane: in-process when the pool is
+// local or the job has exhausted its process attempts, otherwise a
+// process round-trip with restart-and-requeue on failure. queue has
+// capacity for every job in the batch, so requeueing never blocks.
+func (p *Pool) runJob(lane int, job *Job, deliver func(*Job, *Result), queue chan<- *Job) {
+	proc := p.laneProc(lane)
+	if proc == nil || job.attempts >= p.MaxAttempts {
+		res, err := p.Fallback(job)
+		if err != nil {
+			deliver(job, &Result{ID: job.ID, Err: err.Error()})
+			return
+		}
+		res.ID = job.ID
+		deliver(job, res)
+		return
+	}
+	job.attempts++
+	res, err := p.roundTrip(proc, job)
+	if err != nil {
+		// The worker crashed, timed out, or spoke garbage: restart the
+		// lane and let any lane retry the job. Evaluation is a pure
+		// function of the job, so the retry is bit-identical.
+		p.restartLane(lane)
+		queue <- job
+		return
+	}
+	deliver(job, res)
+}
+
+// laneProc returns the lane's live process, or nil when the pool is
+// local or the lane is permanently dead.
+func (p *Pool) laneProc(lane int) *workerProc {
+	if p.procs == nil || lane >= len(p.procs) {
+		return nil
+	}
+	return p.procs[lane]
+}
+
+// restartLane replaces a lane's process after a failure. If the
+// respawn fails the lane is marked dead and its future jobs run
+// in-process.
+func (p *Pool) restartLane(lane int) {
+	if p.procs == nil || lane >= len(p.procs) {
+		return
+	}
+	if old := p.procs[lane]; old != nil {
+		old.stop()
+	}
+	proc, err := p.spawn()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard: lane %d respawn failed (%v); falling back in-process\n", lane, err)
+		p.procs[lane] = nil
+		return
+	}
+	p.procs[lane] = proc
+}

@@ -1,0 +1,213 @@
+// Package shard distributes one training generation's candidate
+// evaluations across worker processes. The coordinator (internal/remy)
+// slices a generation's evaluation batch — every (candidate tree,
+// replica) slot — into self-contained Jobs, fans them out over a Pool
+// of workers speaking a length-prefixed JSON protocol on stdin/stdout
+// (cmd/remyshard), and merges the Results deterministically regardless
+// of shard completion order.
+//
+// Determinism contract: a Job carries everything a worker needs to
+// recompute its slice bit-for-bit — the root seed and generation number
+// (from which the worker re-derives the generation's scenario draws via
+// rng.New(Seed).SplitN("generation", Gen)), the stable-binary candidate
+// trees (remycc's codec), and the training config. Evaluation is a pure
+// function of the Job, so a crashed or timed-out worker's Job can be
+// requeued on any other worker (or evaluated in-process as a last
+// resort) without changing the outcome. Scores and usage statistics
+// cross the wire as JSON numbers, which Go marshals in shortest
+// round-trip form, so every float64 survives bit-exactly.
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"learnability/internal/cc/remycc"
+)
+
+// ProtocolVersion is carried in every Job; workers reject mismatches
+// rather than silently miscomputing.
+const ProtocolVersion = 1
+
+// maxFrame bounds one wire frame. Jobs are dominated by candidate
+// trees (~100 bytes per whisker), so real frames are kilobytes; the cap
+// only guards against a corrupt length prefix.
+const maxFrame = 64 << 20
+
+// Job is one self-contained slice of a generation's evaluation batch:
+// slots [SlotLo, SlotHi) of the flattened (tree × replica) space, where
+// slot s means tree s/Replicas evaluated on replica draw s%Replicas.
+type Job struct {
+	// ID matches a Result to its Job across the wire.
+	ID uint64 `json:"id"`
+	// Version is the sender's ProtocolVersion.
+	Version int `json:"version"`
+	// Seed is the training root seed; together with Gen it lets the
+	// worker re-derive the generation's scenario draws.
+	Seed uint64 `json:"seed"`
+	// Gen is the generation (whisker-split round) being evaluated.
+	Gen int `json:"gen"`
+	// Replicas is the number of scenario draws per candidate.
+	Replicas int `json:"replicas"`
+	// UsageFor is the tree index whose whisker usage the coordinator
+	// needs (-1 for none); the worker returns per-replica usage for
+	// that tree's slots in its slice.
+	UsageFor int `json:"usage_for"`
+	// SlotLo and SlotHi bound this job's half-open slot range.
+	SlotLo int `json:"slot_lo"`
+	// SlotHi is the exclusive upper slot bound.
+	SlotHi int `json:"slot_hi"`
+	// Workers bounds the worker's internal parallelism (0 = NumCPU).
+	Workers int `json:"workers"`
+	// TreeLo is the batch-wide index of Trees[0]: jobs carry only the
+	// candidate trees their slot range touches, so tree ti lives at
+	// Trees[ti-TreeLo].
+	TreeLo int `json:"tree_lo"`
+	// Trees holds the candidate trees covering [SlotLo, SlotHi),
+	// encoded with remycc's stable binary codec.
+	Trees [][]byte `json:"trees"`
+	// Cfg is the training configuration, owned (and round-tripped) by
+	// internal/remy; shard treats it as opaque.
+	Cfg json.RawMessage `json:"cfg"`
+
+	// index is the job's position in its batch (coordinator side only).
+	index int
+	// attempts counts process deliveries tried for this job
+	// (coordinator side only).
+	attempts int
+}
+
+// Result is a worker's answer to one Job.
+type Result struct {
+	// ID echoes the Job's ID.
+	ID uint64 `json:"id"`
+	// Scores holds one objective per slot, in slot order
+	// (SlotHi-SlotLo entries).
+	Scores []float64 `json:"scores"`
+	// Usage holds per-replica whisker usage of the UsageFor tree, for
+	// the replicas that fell in this job's slice.
+	Usage []UsageFrame `json:"usage,omitempty"`
+	// Err reports an evaluation failure (bad config, undecodable
+	// tree). It is a deterministic error, not a crash: the pool
+	// surfaces it instead of requeueing.
+	Err string `json:"err,omitempty"`
+}
+
+// UsageFrame is one replica's whisker usage of the UsageFor tree.
+type UsageFrame struct {
+	// K is the replica index.
+	K int `json:"k"`
+	// Count is the per-whisker fire count.
+	Count []int64 `json:"count"`
+	// Sum is the per-whisker sum of observed memory vectors.
+	Sum [][remycc.NumSignals]float64 `json:"sum"`
+}
+
+// Stats converts the frame back into the trainer's accumulator type.
+func (f *UsageFrame) Stats() *remycc.UsageStats {
+	return &remycc.UsageStats{Count: f.Count, Sum: f.Sum}
+}
+
+// WriteFrame writes v as one length-prefixed JSON frame: a 4-byte
+// big-endian payload length followed by the payload, issued as a
+// single Write so frames never interleave.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("shard: marshal frame: %w", err)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame into v. It returns
+// io.EOF unwrapped when the stream ends cleanly between frames, so
+// worker loops can distinguish shutdown from truncation.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("shard: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("shard: read frame payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return nil
+}
+
+// Eval evaluates one job. internal/remy provides the real one; tests
+// inject fakes.
+type Eval func(*Job) (*Result, error)
+
+// ErrDied is returned by Serve when ServeOpts.DieAfter triggers; the
+// worker process should exit non-zero without replying, simulating a
+// crash for the requeue tests.
+var ErrDied = errors.New("shard: worker reached DieAfter limit")
+
+// ServeOpts tunes a worker loop.
+type ServeOpts struct {
+	// DieAfter, when positive, makes Serve return ErrDied after fully
+	// serving that many jobs — the next job is read and then abandoned
+	// without a reply, exercising the coordinator's crash requeue.
+	DieAfter int
+}
+
+// Serve runs a worker loop on r/w: read a Job frame, evaluate it,
+// write the Result frame, until r reaches EOF. Evaluation errors are
+// reported to the coordinator as Result.Err; only transport errors
+// (and ErrDied) are returned.
+func Serve(r io.Reader, w io.Writer, eval Eval, opts ServeOpts) error {
+	br := bufio.NewReader(r)
+	served := 0
+	for {
+		job := &Job{}
+		if err := ReadFrame(br, job); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if opts.DieAfter > 0 && served >= opts.DieAfter {
+			return ErrDied
+		}
+		res := serveOne(job, eval)
+		if err := WriteFrame(w, res); err != nil {
+			return err
+		}
+		served++
+	}
+}
+
+// serveOne evaluates one job, converting version mismatches and eval
+// failures into error Results.
+func serveOne(job *Job, eval Eval) *Result {
+	if job.Version != ProtocolVersion {
+		return &Result{ID: job.ID, Err: fmt.Sprintf("protocol version %d, worker speaks %d", job.Version, ProtocolVersion)}
+	}
+	res, err := eval(job)
+	if err != nil {
+		return &Result{ID: job.ID, Err: err.Error()}
+	}
+	res.ID = job.ID
+	return res
+}

@@ -1,0 +1,204 @@
+package remy
+
+// Differential tests for the sharded trainer: the headline guarantee is
+// that training with -shards N (any N, any worker transport, even with
+// workers crashing mid-run) produces a tree BYTE-EQUAL to the
+// in-process trainer for the same Seed and Budget. The subprocess tests
+// re-exec this test binary as the worker (TestShardWorkerProcess),
+// so no separate build step is needed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy/shard"
+)
+
+// TestShardWorkerProcess is not a test: it is the worker half of the
+// subprocess differential tests. When re-executed with
+// REMY_SHARD_WORKER=1 it serves shard jobs on stdin/stdout and exits
+// before the testing framework can print its summary (which would
+// corrupt the frame stream). REMY_SHARD_DIE_AFTER simulates a crash
+// after that many jobs.
+func TestShardWorkerProcess(t *testing.T) {
+	if os.Getenv("REMY_SHARD_WORKER") != "1" {
+		t.Skip("worker-process helper; not a test")
+	}
+	opts := shard.ServeOpts{}
+	if s := os.Getenv("REMY_SHARD_DIE_AFTER"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			os.Exit(2)
+		}
+		opts.DieAfter = n
+	}
+	if err := ServeShard(os.Stdin, os.Stdout, opts); err != nil {
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// workerCmd is the argv that re-execs this test binary as a shard
+// worker (activated by REMY_SHARD_WORKER=1 in the environment, which
+// spawned processes inherit).
+func workerCmd() []string {
+	return []string{os.Args[0], "-test.run=^TestShardWorkerProcess$"}
+}
+
+// diffBudget is the budget every differential test trains under: big
+// enough to split whiskers and hill-climb (so the trajectory visits
+// every merge path), small enough to run many trainers per test.
+func diffBudget() Budget {
+	return Budget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2}
+}
+
+// trainBytes trains with the given trainer and returns the stable
+// binary encoding of the result.
+func trainBytes(t *testing.T, tr *Trainer) []byte {
+	t.Helper()
+	tree := tr.Train(diffBudget())
+	data, err := tree.MarshalBinary()
+	if err != nil {
+		t.Fatalf("encode trained tree: %v", err)
+	}
+	return data
+}
+
+// inProcessBytes is the reference: the plain Workers-only trainer.
+func inProcessBytes(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	return trainBytes(t, &Trainer{Cfg: tinyConfig(), Seed: seed, Workers: 4})
+}
+
+func TestShardedTrainBitEqualInProcessLanes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	for _, shards := range []int{1, 2, 4} {
+		tr := &Trainer{Cfg: tinyConfig(), Seed: seed, Workers: 4, Shards: shards}
+		got := trainBytes(t, tr)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d (in-process lanes): trained tree differs from in-process trainer", shards)
+		}
+	}
+}
+
+func TestShardedTrainBitEqualSubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	t.Setenv("REMY_SHARD_WORKER", "1")
+	for _, shards := range []int{1, 2, 4} {
+		tr := &Trainer{
+			Cfg:      tinyConfig(),
+			Seed:     seed,
+			Shards:   shards,
+			ShardCmd: workerCmd(),
+		}
+		got := trainBytes(t, tr)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d (worker processes): trained tree differs from in-process trainer", shards)
+		}
+	}
+}
+
+// TestShardedTrainRequeuesKilledWorker kills every worker after its
+// third job — each lane crashes and respawns repeatedly across the
+// run, so jobs are requeued onto fresh processes mid-generation — and
+// still requires a byte-equal result.
+func TestShardedTrainRequeuesKilledWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	t.Setenv("REMY_SHARD_WORKER", "1")
+	t.Setenv("REMY_SHARD_DIE_AFTER", "3")
+	tr := &Trainer{
+		Cfg:          tinyConfig(),
+		Seed:         seed,
+		Shards:       2,
+		ShardCmd:     workerCmd(),
+		ShardTimeout: time.Minute,
+	}
+	got := trainBytes(t, tr)
+	if !bytes.Equal(got, want) {
+		t.Fatal("killed-and-requeued workers changed the trained tree")
+	}
+}
+
+// TestShardedTrainDifferentSeedsDiffer guards the guard: if the
+// encoding or the trainer collapsed to a constant, the equality tests
+// above would pass vacuously.
+func TestShardedTrainDifferentSeedsDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	a := inProcessBytes(t, 7)
+	b := inProcessBytes(t, 8)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds trained byte-identical trees; differential tests are vacuous")
+	}
+}
+
+// TestEvalShardJobMatchesLocalSlots cross-checks one job directly:
+// worker-side evaluation of a slot range must reproduce the local
+// path's scores bit-for-bit (fast enough to run in -short).
+func TestEvalShardJobMatchesLocalSlots(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Replicas = 2
+	cfg.Duration = 2 * 1000 * 1000 * 1000 // 2 simulated seconds
+	tr := &Trainer{Cfg: cfg, Seed: 3}
+	ncfg := tr.Cfg.normalize()
+	trees := []*remycc.Tree{remycc.NewTree(), remycc.NewTree().WithAction(0, remycc.Action{WindowMult: 1.05, WindowIncr: 2, Intersend: 0.001})}
+
+	scores := make([]float64, len(trees)*ncfg.Replicas)
+	usageK, _ := tr.evaluateLocal(ncfg, trees, 0, 0, scores)
+
+	cfgJSON, err := json.Marshal(&ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := make([][]byte, len(trees))
+	for i := range trees {
+		enc[i], _ = trees[i].MarshalBinary()
+	}
+	res, err := EvalShardJob(&shard.Job{
+		ID: 1, Version: shard.ProtocolVersion, Seed: 3, Gen: 0,
+		Replicas: ncfg.Replicas, UsageFor: 0,
+		SlotLo: 0, SlotHi: len(scores), Workers: 2,
+		Trees: enc, Cfg: cfgJSON,
+	})
+	if err != nil {
+		t.Fatalf("EvalShardJob: %v", err)
+	}
+	for i := range scores {
+		if res.Scores[i] != scores[i] {
+			t.Fatalf("slot %d: shard score %v, local score %v", i, res.Scores[i], scores[i])
+		}
+	}
+	if len(res.Usage) != ncfg.Replicas {
+		t.Fatalf("%d usage frames, want %d", len(res.Usage), ncfg.Replicas)
+	}
+	for k, uf := range res.Usage {
+		if uf.K != k {
+			t.Fatalf("usage frame %d has replica %d", k, uf.K)
+		}
+		local := usageK[k]
+		for i := range local.Count {
+			if uf.Count[i] != local.Count[i] || uf.Sum[i] != local.Sum[i] {
+				t.Fatalf("replica %d whisker %d usage differs: %v/%v vs %v/%v",
+					k, i, uf.Count[i], uf.Sum[i], local.Count[i], local.Sum[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package remy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy/shard"
+)
+
+// Sharded training. The coordinator side (startShards, evaluateSharded)
+// slices every evaluation batch's (tree x replica) slot space into
+// contiguous shard jobs and fans them out over a shard.Pool; the worker
+// side (EvalShardJob, ServeShard) recomputes the generation's scenario
+// draws from the job's Seed and Gen and evaluates its slots. Both ends
+// are pure functions of the job, and the coordinator merges scores and
+// usage back into the exact positions the in-process path would have
+// written, so sharded training is bit-identical to in-process training
+// for the same Seed and Budget (remy's differential tests enforce
+// this byte-for-byte on the trained tree).
+
+// startShards brings up the shard pool for one Train call and returns
+// its teardown. Misconfiguration (an unspawnable ShardCmd, an
+// unserializable config) panics: training has no error path, and
+// silent degradation would hide a broken deployment.
+func (t *Trainer) startShards(cfg Config) (stop func()) {
+	cfgJSON, err := json.Marshal(&cfg)
+	if err != nil {
+		panic(fmt.Sprintf("remy: training config not serializable: %v", err))
+	}
+	lanes := t.Shards
+	if lanes < 1 {
+		lanes = 1
+	}
+	pool := &shard.Pool{
+		Lanes:    lanes,
+		Cmd:      t.ShardCmd,
+		Fallback: EvalShardJob,
+		Timeout:  t.ShardTimeout,
+	}
+	if err := pool.Start(); err != nil {
+		panic(fmt.Sprintf("remy: shard pool: %v", err))
+	}
+	t.shards = pool
+	t.shardCfg = cfgJSON
+	return func() {
+		pool.Close()
+		t.shards = nil
+		t.shardCfg = nil
+	}
+}
+
+// shardWorkers resolves the per-shard parallelism shipped in each job:
+// an explicit ShardWorkers, or NumCPU divided evenly across shards so
+// co-located workers don't oversubscribe the machine.
+func (t *Trainer) shardWorkers() int {
+	if t.ShardWorkers > 0 {
+		return t.ShardWorkers
+	}
+	lanes := t.Shards
+	if lanes < 1 {
+		lanes = 1
+	}
+	w := runtime.NumCPU() / lanes
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// evaluateSharded fills scores (one slot per tree x replica) by
+// fanning shard jobs over the pool, and returns the per-replica usage
+// of trees[usageFor] (nil when usageFor is -1). Slot ranges are
+// contiguous, so results drop into the same positions the in-process
+// path fills; the caller's reduction is oblivious to which path ran.
+func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFor int, scores []float64) []*remycc.UsageStats {
+	enc := make([][]byte, len(trees))
+	for i, tree := range trees {
+		b, err := tree.MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("remy: encode candidate tree: %v", err))
+		}
+		enc[i] = b
+	}
+
+	nSlots := len(scores)
+	lanes := t.Shards
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > nSlots {
+		lanes = nSlots
+	}
+	per := (nSlots + lanes - 1) / lanes
+	jobs := make([]*shard.Job, 0, lanes)
+	for lo := 0; lo < nSlots; lo += per {
+		hi := lo + per
+		if hi > nSlots {
+			hi = nSlots
+		}
+		// Ship only the trees this slot range touches; the worker
+		// addresses tree ti at Trees[ti-TreeLo].
+		tiLo, tiHi := lo/cfg.Replicas, (hi-1)/cfg.Replicas
+		t.shardJobID++
+		jobs = append(jobs, &shard.Job{
+			ID:       t.shardJobID,
+			Version:  shard.ProtocolVersion,
+			Seed:     t.Seed,
+			Gen:      gen,
+			Replicas: cfg.Replicas,
+			UsageFor: usageFor,
+			SlotLo:   lo,
+			SlotHi:   hi,
+			Workers:  t.shardWorkers(),
+			TreeLo:   tiLo,
+			Trees:    enc[tiLo : tiHi+1],
+			Cfg:      t.shardCfg,
+		})
+	}
+
+	results, err := t.shards.Do(jobs)
+	if err != nil {
+		panic(fmt.Sprintf("remy: shard batch failed: %v", err))
+	}
+
+	var usageK []*remycc.UsageStats
+	if usageFor >= 0 {
+		usageK = make([]*remycc.UsageStats, cfg.Replicas)
+	}
+	for i, res := range results {
+		job := jobs[i]
+		if len(res.Scores) != job.SlotHi-job.SlotLo {
+			panic(fmt.Sprintf("remy: shard job %d returned %d scores for %d slots",
+				job.ID, len(res.Scores), job.SlotHi-job.SlotLo))
+		}
+		copy(scores[job.SlotLo:job.SlotHi], res.Scores)
+		for fi := range res.Usage {
+			uf := &res.Usage[fi]
+			if usageK == nil || uf.K < 0 || uf.K >= len(usageK) {
+				panic(fmt.Sprintf("remy: shard job %d returned usage for replica %d", job.ID, uf.K))
+			}
+			usageK[uf.K] = uf.Stats()
+		}
+	}
+	for k := range usageK {
+		if usageK[k] == nil {
+			panic(fmt.Sprintf("remy: no shard returned usage for replica %d", k))
+		}
+	}
+	return usageK
+}
+
+// EvalShardJob evaluates one shard job: it decodes the training config
+// and candidate trees, re-derives the generation's scenario draws from
+// the job's Seed and Gen (splittable RNG: same splits, same draws),
+// and scores the job's slot range. It is the pool's in-process
+// fallback and, via ServeShard, the worker binary's evaluator.
+func EvalShardJob(job *shard.Job) (*shard.Result, error) {
+	var cfg Config
+	if err := json.Unmarshal(job.Cfg, &cfg); err != nil {
+		return nil, fmt.Errorf("remy: decode shard config: %w", err)
+	}
+	cfg = cfg.normalize()
+	if job.Replicas != cfg.Replicas {
+		return nil, fmt.Errorf("remy: job says %d replicas, config %d", job.Replicas, cfg.Replicas)
+	}
+	if job.SlotLo < 0 || job.SlotLo >= job.SlotHi {
+		return nil, fmt.Errorf("remy: bad slot range [%d,%d)", job.SlotLo, job.SlotHi)
+	}
+	if job.TreeLo < 0 || job.SlotLo/cfg.Replicas < job.TreeLo ||
+		(job.SlotHi-1)/cfg.Replicas >= job.TreeLo+len(job.Trees) {
+		return nil, fmt.Errorf("remy: slot range [%d,%d) outside trees [%d,%d)",
+			job.SlotLo, job.SlotHi, job.TreeLo, job.TreeLo+len(job.Trees))
+	}
+	trees := make([]*remycc.Tree, len(job.Trees))
+	for i, data := range job.Trees {
+		tree, err := remycc.DecodeTree(data)
+		if err != nil {
+			return nil, fmt.Errorf("remy: decode candidate tree %d: %w", job.TreeLo+i, err)
+		}
+		trees[i] = tree
+	}
+
+	draws := cfg.generationDraws(job.Seed, job.Gen)
+	n := job.SlotHi - job.SlotLo
+	res := &shard.Result{Scores: make([]float64, n)}
+	usages := make([]*remycc.UsageStats, n)
+	parallelFor(n, job.Workers, func(i int) {
+		slot := job.SlotLo + i
+		ti, k := slot/cfg.Replicas, slot%cfg.Replicas
+		u := &remycc.UsageStats{}
+		res.Scores[i] = cfg.evalOne(trees[ti-job.TreeLo], draws[k], u)
+		if ti == job.UsageFor {
+			usages[i] = u
+		}
+	})
+	// Slots are contiguous, so walking them in order emits usage
+	// frames in ascending replica order.
+	for i, u := range usages {
+		if u == nil {
+			continue
+		}
+		res.Usage = append(res.Usage, shard.UsageFrame{
+			K:     (job.SlotLo + i) % cfg.Replicas,
+			Count: u.Count,
+			Sum:   u.Sum,
+		})
+	}
+	return res, nil
+}
+
+// ServeShard runs the shard-worker loop on r and w until EOF;
+// cmd/remyshard wires it to stdin/stdout.
+func ServeShard(r io.Reader, w io.Writer, opts shard.ServeOpts) error {
+	return shard.Serve(r, w, EvalShardJob, opts)
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines
+// (0 = NumCPU), returning when all calls complete. Iterations must be
+// independent; the shard worker uses it to spread its slot range.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -61,11 +61,13 @@ type Sender struct {
 // Spec is one concrete network configuration plus its workload and
 // duration.
 type Spec struct {
+	// Topology selects the network shape.
 	Topology Topology
 
 	// LinkSpeed is the (first) bottleneck rate. LinkSpeed2 is the
 	// second bottleneck's rate, used only by ParkingLot.
-	LinkSpeed  units.Rate
+	LinkSpeed units.Rate
+	// LinkSpeed2 is the second bottleneck's rate (ParkingLot only).
 	LinkSpeed2 units.Rate
 
 	// MinRTT is the round-trip propagation delay of a dumbbell flow.
@@ -77,11 +79,14 @@ type Spec struct {
 	// is in multiples of LinkSpeed*MinRTT (per link, using that link's
 	// rate).
 	Buffering Buffering
+	// BufferBDP is the gateway buffer depth in bandwidth-delay
+	// products of the link it sits on.
 	BufferBDP float64
 
 	// MeanOn and MeanOff are the exponential workload means.
 	MeanOn, MeanOff units.Duration
 
+	// Senders are the endpoints, one flow each, in flow order.
 	Senders []Sender
 
 	// Duration is the simulated run length.
@@ -95,7 +100,9 @@ type Spec struct {
 	// time during the run (ProbeInterval defaults to 100 ms). Probes
 	// can inspect sender state (e.g. Tao congestion signals) as the
 	// simulation evolves.
-	Probe         func(now units.Time)
+	Probe func(now units.Time)
+	// ProbeInterval is the simulated time between Probe calls
+	// (default 100 ms).
 	ProbeInterval units.Duration
 
 	// DisablePacketPool turns off packet recycling for the run,
@@ -113,16 +120,16 @@ type Spec struct {
 
 // Result reports one flow's outcome.
 type Result struct {
-	Flow        int
-	Throughput  units.Rate
+	Flow        int            // flow index (Spec.Senders order)
+	Throughput  units.Rate     // delivered bytes over on-time
 	Delay       units.Duration // average one-way per-packet delay
-	QueueDelay  units.Duration
-	MinRTT      units.Duration
-	FairShare   units.Rate // equal split of the flow's path bottleneck
-	OnTime      units.Duration
-	Retransmits int64
-	Timeouts    int64
-	Delta       float64
+	QueueDelay  units.Duration // average delay in excess of propagation
+	MinRTT      units.Duration // the flow's propagation round trip
+	FairShare   units.Rate     // equal split of the flow's path bottleneck
+	OnTime      units.Duration // simulated time the flow spent "on"
+	Retransmits int64          // packets retransmitted
+	Timeouts    int64          // RTO fires
+	Delta       float64        // the sender's objective weight, echoed
 }
 
 // Run executes the scenario and returns one Result per sender, in

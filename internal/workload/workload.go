@@ -15,6 +15,7 @@ import (
 // scheduler; set is invoked at every on/off transition (and once at
 // start for the initial state).
 type Source interface {
+	// Start arms the source's transitions on the scheduler.
 	Start(s *sim.Scheduler, set func(on bool))
 }
 
@@ -24,9 +25,9 @@ type Source interface {
 // The source begins "off" and turns on after an initial exponential
 // off-draw, which staggers sender start times.
 type OnOff struct {
-	MeanOn  units.Duration
-	MeanOff units.Duration
-	Rng     *rng.Stream
+	MeanOn  units.Duration // mean of the exponential on-period
+	MeanOff units.Duration // mean of the exponential off-period
+	Rng     *rng.Stream    // stream the period draws come from
 }
 
 // NewOnOff returns an exponential on/off source with the given means,
@@ -66,15 +67,15 @@ func (AlwaysOn) Start(s *sim.Scheduler, set func(on bool)) { set(true) }
 
 // Transition is one scheduled state change in a Deterministic source.
 type Transition struct {
-	At units.Time
-	On bool
+	At units.Time // when the change takes effect
+	On bool       // the state after the change
 }
 
 // Deterministic replays a fixed schedule of on/off transitions, used by
 // the paper's Figure 8 (cross-TCP on at exactly t=5 s, off at t=10 s).
 type Deterministic struct {
-	InitialOn   bool
-	Transitions []Transition
+	InitialOn   bool         // state before the first transition
+	Transitions []Transition // the schedule, replayed in time order
 }
 
 // Start implements Source.

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# benchgate.sh — run the benchmark regression gate with a baseline
+# measured in THIS job, on THIS machine: check out the base commit into
+# a temporary git worktree, run scripts/bench.sh there, then run the
+# head benchmarks and compare the two runs. Because base and head
+# execute on the same hardware back to back, the gate no longer
+# inherits the cross-machine variance of comparing against the
+# committed BENCH_core.json (which remains useful as the long-term
+# trajectory record).
+#
+# Base selection, in order:
+#   BENCH_BASE_SHA            explicit override
+#   GITHUB_BASE_REF           pull requests: merge-base with the target
+#   HEAD^                     pushes: the previous commit
+# If no base commit is reachable (first commit, shallow clone without
+# history), the gate falls back to the committed BENCH_core.json.
+#
+# Env: BENCHTIME / BENCH_COUNT / BENCH_TOLERANCE_PCT pass through to
+# both bench.sh runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_sha=""
+if [ -n "${BENCH_BASE_SHA:-}" ]; then
+  base_sha="$BENCH_BASE_SHA"
+elif [ -n "${GITHUB_BASE_REF:-}" ]; then
+  git fetch --quiet origin "$GITHUB_BASE_REF" || true
+  base_sha="$(git merge-base HEAD "origin/$GITHUB_BASE_REF" 2>/dev/null || true)"
+else
+  base_sha="$(git rev-parse --quiet --verify 'HEAD^{commit}^' 2>/dev/null || true)"
+fi
+
+if [ -z "$base_sha" ]; then
+  echo "benchgate: no base commit reachable; falling back to committed BENCH_core.json" >&2
+  exec scripts/bench.sh --compare BENCH_core.json
+fi
+
+# Baseline runs want the same min-of-N noise damping compare mode uses.
+export BENCH_COUNT="${BENCH_COUNT:-3}"
+
+worktree="$(mktemp -d)"
+cleanup() {
+  git worktree remove --force "$worktree" >/dev/null 2>&1 || true
+  rm -rf "$worktree"
+}
+trap cleanup EXIT
+git worktree add --force --detach "$worktree" "$base_sha" >/dev/null
+
+echo "== baseline benchmarks @ ${base_sha} =="
+(cd "$worktree" && scripts/bench.sh)
+baseline="$worktree/BENCH_core.json"
+
+echo
+echo "== head benchmarks vs same-machine baseline =="
+scripts/bench.sh --compare "$baseline"

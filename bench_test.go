@@ -247,7 +247,35 @@ func BenchmarkScenarioRun(b *testing.B) {
 				{Alg: learnability.NewCubic(), Delta: 1},
 			},
 		}
-		learnability.RunScenario(spec)
+		learnability.MustRunScenario(spec)
+	}
+}
+
+// BenchmarkScenarioRunParkingLot measures the multi-hop forwarding hot
+// path: one 30-s Cubic run on a 3-hop parking lot with cross traffic
+// (four flows, three links, per-link next-hop chains). Together with
+// BenchmarkScenarioRun it gates the graph engine: the dumbbell guards
+// the single-hop fast path, this guards the forwarding chains.
+func BenchmarkScenarioRunParkingLot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := learnability.Spec{
+			Topology:  learnability.ParkingLotN(3, true),
+			LinkSpeed: 32 * learnability.Mbps,
+			MinRTT:    150 * learnability.Millisecond,
+			Buffering: learnability.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    learnability.Second,
+			MeanOff:   learnability.Second,
+			Duration:  30 * learnability.Second,
+			Seed:      learnability.NewSeed(uint64(i)),
+			Senders: []learnability.SpecSender{
+				{Alg: learnability.NewCubic(), Delta: 1},
+				{Alg: learnability.NewCubic(), Delta: 1},
+				{Alg: learnability.NewCubic(), Delta: 1},
+				{Alg: learnability.NewCubic(), Delta: 1},
+			},
+		}
+		learnability.MustRunScenario(spec)
 	}
 }
 

@@ -97,7 +97,12 @@ func main() {
 				for s := 0; s < *senders; s++ {
 					spec.Senders = append(spec.Senders, scenario.Sender{Alg: p.mk(), Delta: *delta})
 				}
-				for _, r := range scenario.Run(spec) {
+				results, err := scenario.Run(spec)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "remyeval:", err)
+					os.Exit(1)
+				}
+				for _, r := range results {
 					if r.OnTime == 0 {
 						continue
 					}

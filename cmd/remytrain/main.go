@@ -23,7 +23,10 @@ import (
 
 func main() {
 	var (
-		speedMin   = flag.Float64("speed-min", 10, "minimum link speed (Mbps), drawn log-uniformly")
+		topology   = flag.String("topology", "dumbbell", "training topology: dumbbell or parkinglot (use -hops for more than 2 bottlenecks)")
+		hops       = flag.Int("hops", 2, "parking-lot bottleneck links in series")
+		cross      = flag.Bool("cross", true, "parking-lot cross traffic: one single-hop flow per link")
+		speedMin   = flag.Float64("speed-min", 10, "minimum link speed (Mbps), drawn log-uniformly; multi-link topologies draw each link from this range")
 		speedMax   = flag.Float64("speed-max", 100, "maximum link speed (Mbps)")
 		rttMin     = flag.Float64("rtt", 150, "minimum RTT (ms); lower end if -rtt-max set")
 		rttMax     = flag.Float64("rtt-max", 0, "upper end of the minimum-RTT range (ms); 0 = same as -rtt")
@@ -67,6 +70,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	sendersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "senders" || f.Name == "senders-min" {
+			sendersSet = true
+		}
+	})
+
+	var topo scenario.Topology
+	switch *topology {
+	case "dumbbell":
+		topo = scenario.Dumbbell
+	case "parkinglot", "parking-lot":
+		// The parking lot fixes its flow count (one long flow plus the
+		// cross traffic); the -senders flags apply to the dumbbell only,
+		// so an explicit value here would be silently ignored — reject it.
+		if sendersSet {
+			fmt.Fprintln(os.Stderr, "remytrain: -senders/-senders-min do not apply to -topology parkinglot (the flow count is 1 long flow + one cross flow per hop)")
+			os.Exit(2)
+		}
+		topo = scenario.ParkingLotN(*hops, *cross)
+		*sendersMin, *sendersMax = 0, 0
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q (want dumbbell or parkinglot)\n", *topology)
+		os.Exit(2)
+	}
+
 	buffering := scenario.FiniteDropTail
 	if *bufBDP == 0 {
 		buffering = scenario.NoDrop
@@ -76,7 +105,7 @@ func main() {
 		rttHi = *rttMin
 	}
 	cfg := remy.Config{
-		Topology:     scenario.Dumbbell,
+		Topology:     topo,
 		LinkSpeedMin: units.Rate(*speedMin) * units.Mbps,
 		LinkSpeedMax: units.Rate(*speedMax) * units.Mbps,
 		MinRTTMin:    units.DurationFromSeconds(*rttMin / 1e3),
@@ -92,6 +121,11 @@ func main() {
 		Mask:         mask,
 		Duration:     units.DurationFromSeconds(*dur),
 		Replicas:     *replicas,
+	}
+
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "remytrain:", err)
+		os.Exit(2)
 	}
 
 	tr := &remy.Trainer{

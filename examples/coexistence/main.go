@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"learnability"
 )
@@ -54,7 +55,10 @@ func race(label string, mkA, mkB func() learnability.Algorithm, nameA, nameB str
 			{Alg: mkB(), Delta: 1},
 		},
 	}
-	results := learnability.RunScenario(spec)
+	results, err := learnability.RunScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n%s:\n", label)
 	names := []string{nameA, nameB}
 	for i, r := range results {

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"learnability"
 )
@@ -55,7 +56,10 @@ func main() {
 			{Alg: learnability.NewRemyCC(del), Delta: 10},
 		},
 	}
-	results := learnability.RunScenario(spec)
+	results, err := learnability.RunScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	names := []string{"Tpt sender (delta=0.1)", "Del sender (delta=10)"}
 	fmt.Println("\nnaively-trained senders sharing one no-drop bottleneck:")
 	for i, r := range results {

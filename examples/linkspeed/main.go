@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 
 	"learnability"
@@ -77,7 +78,11 @@ func main() {
 				},
 			}
 			obj, n := 0.0, 0
-			for _, r := range learnability.RunScenario(spec) {
+			results, err := learnability.RunScenario(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range results {
 				if r.OnTime == 0 {
 					continue
 				}

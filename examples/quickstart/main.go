@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"learnability"
 )
@@ -64,7 +65,10 @@ func main() {
 				{Alg: c.mk(), Delta: 1},
 			},
 		}
-		results := learnability.RunScenario(spec)
+		results, err := learnability.RunScenario(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var tpt, delay, queue float64
 		for _, r := range results {
 			tpt += float64(r.Throughput) / 1e6

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"learnability"
 )
@@ -61,7 +62,10 @@ func main() {
 			}
 		},
 	}
-	results := learnability.RunScenario(spec)
+	results, err := learnability.RunScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\nfinal per-flow results:")
 	names := []string{"Tao", "Cubic"}

@@ -177,7 +177,7 @@ func evalPoint(e Effort, p Protocol, tmpl scenario.Spec, nSenders int, label str
 		for i := range spec.Senders {
 			spec.Senders[i] = scenario.Sender{Alg: p.New(), Delta: 1}
 		}
-		all = append(all, scenario.Run(spec)...)
+		all = append(all, scenario.MustRun(spec)...)
 	}
 	return all
 }

@@ -122,7 +122,7 @@ func RunDiversity(e Effort, log func(string, ...any)) *DiversityResult {
 					}
 					spec.Senders[i] = scenario.Sender{Alg: alg, Delta: s.Delta}
 				}
-				results := scenario.Run(spec)
+				results := scenario.MustRun(spec)
 				for fi, name := range report {
 					r := results[fi]
 					if r.OnTime == 0 {

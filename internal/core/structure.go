@@ -108,7 +108,7 @@ func RunStructure(e Effort, log func(string, ...any)) *StructureResult {
 		tmpl := scenario.Spec{
 			Topology:   scenario.ParkingLot,
 			LinkSpeed:  r1,
-			LinkSpeed2: r2,
+			LinkSpeeds: []units.Rate{r1, r2},
 			MinRTT:     300 * units.Millisecond,
 			Buffering:  scenario.FiniteDropTail,
 			BufferBDP:  1,
@@ -129,7 +129,7 @@ func RunStructure(e Effort, log func(string, ...any)) *StructureResult {
 				{Alg: p.New(), Delta: 1},
 				{Alg: p.New(), Delta: 1},
 			}
-			results := scenario.Run(spec)
+			results := scenario.MustRun(spec)
 			if results[0].OnTime > 0 {
 				tpts = append(tpts, float64(results[0].Throughput))
 			}

@@ -113,7 +113,7 @@ func RunTCPAware(e Effort, log func(string, ...any)) *TCPAwareResult {
 					{Alg: st.mk[1](), Delta: 1},
 				},
 			}
-			results := scenario.Run(spec)
+			results := scenario.MustRun(spec)
 			perFlow[0] = append(perFlow[0], results[0])
 			perFlow[1] = append(perFlow[1], results[1])
 		}

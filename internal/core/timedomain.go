@@ -75,7 +75,7 @@ func RunTimeDomain(e Effort, log func(string, ...any)) *TimeDomainResult {
 				},
 			},
 		}
-		nw, queues := scenario.Build(spec)
+		nw, queues := scenario.MustBuild(spec)
 		q := queues[0]
 		if dt, ok := q.(*queue.DropTail); ok {
 			dt.SetDropRecorder(func(now units.Time, p *packet.Packet) {

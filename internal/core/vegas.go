@@ -63,7 +63,7 @@ func RunVegasSqueeze(e Effort, log func(string, ...any)) *VegasResult {
 					{Alg: st.mk[1].New(), Delta: 1},
 				},
 			}
-			for fi, r := range scenario.Run(spec) {
+			for fi, r := range scenario.MustRun(spec) {
 				if r.OnTime == 0 {
 					continue
 				}

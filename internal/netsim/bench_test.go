@@ -25,7 +25,7 @@ func BenchmarkLinkSaturation(b *testing.B) {
 	q := queue.NewDropTail(64 * packet.MTU)
 	l := NewLink(sched, units.Gbps, 20*units.Microsecond, q)
 	l.SetPool(pool)
-	l.SetRoute(func(int) Deliverer { return refeed{l} })
+	l.SetRoute([]Deliverer{refeed{l}})
 	for i := 0; i < 16; i++ {
 		l.Deliver(sched.Now(), pool.Data(0, int64(i), sched.Now()))
 	}
@@ -53,7 +53,7 @@ func BenchmarkFlowPath(b *testing.B) {
 	rcv.SetSender(snd)
 	rcv.SetPool(pool)
 	snd.SetPool(pool)
-	l.SetRoute(func(int) Deliverer { return rcv })
+	l.SetRoute([]Deliverer{rcv})
 	snd.SetOn(0, true)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -21,13 +21,11 @@ type Deliverer interface {
 	Deliver(now units.Time, p *packet.Packet)
 }
 
-// Route decides the next hop for packets of a given flow leaving a link.
-type Route func(flow int) Deliverer
-
 // Link is a unidirectional link: a queueing discipline feeding a
 // serializer of fixed rate, followed by a fixed propagation delay.
-// Packets leaving the link are handed to the Deliverer chosen by the
-// link's Route.
+// Packets leaving the link are handed to the next hop in the link's
+// flow-indexed route table (the next link on the flow's path, or the
+// flow's receiver at the last hop).
 //
 // The transmit path is allocation-free: the serialization-done and
 // propagation-arrival callbacks are bound once at construction,
@@ -40,7 +38,7 @@ type Link struct {
 	rate  units.Rate
 	prop  units.Duration
 	q     queue.Discipline
-	route Route
+	next  []Deliverer // flow-indexed next hop
 	busy  bool
 
 	pool *packet.Pool // optional; recycles packets rejected at enqueue
@@ -82,8 +80,12 @@ func NewLink(sched *sim.Scheduler, rate units.Rate, prop units.Duration, q queue
 	return l
 }
 
-// SetRoute installs the per-flow next-hop function.
-func (l *Link) SetRoute(r Route) { l.route = r }
+// SetRoute installs the flow-indexed next-hop table: next[flow] is the
+// Deliverer packets of that flow are handed to when they exit the link.
+// Topology builders (package topo) compile a flow's multi-hop path into
+// one table entry per link, so per-packet forwarding is a single slice
+// load — no closure, no allocation.
+func (l *Link) SetRoute(next []Deliverer) { l.next = next }
 
 // SetPool attaches the simulation's packet pool, letting the link
 // recycle packets its queue rejects at enqueue. The pool is forwarded
@@ -105,6 +107,18 @@ func (l *Link) Rate() units.Rate { return l.rate }
 
 // Prop reports the link's one-way propagation delay.
 func (l *Link) Prop() units.Duration { return l.prop }
+
+// InFlight reports the number of packets currently inside the link:
+// queued at the gateway, being serialized, or in propagation. The
+// conservation property tests use it to account for packets still in
+// the network when a run ends.
+func (l *Link) InFlight() int {
+	n := l.q.Len() + l.propQ.len()
+	if l.busy {
+		n++
+	}
+	return n
+}
 
 // txTime reports the serialization time of a packet of the given size.
 func (l *Link) txTime(size int) units.Duration {
@@ -159,6 +173,5 @@ func (l *Link) txDone() {
 // FIFO order, so the head is always the arriving packet.
 func (l *Link) arrive() {
 	p := l.propQ.pop()
-	next := l.route(p.Flow)
-	next.Deliver(l.sched.Now(), p)
+	l.next[p.Flow].Deliver(l.sched.Now(), p)
 }

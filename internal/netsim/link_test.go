@@ -26,7 +26,7 @@ func TestLinkSerializationPlusPropagation(t *testing.T) {
 	sink := &captureSink{sched: sched}
 	// 12 Mbps: one 1500-byte packet serializes in exactly 1 ms.
 	l := NewLink(sched, 12*units.Mbps, 50*units.Millisecond, queue.NewInfinite())
-	l.SetRoute(func(int) Deliverer { return sink })
+	l.SetRoute([]Deliverer{sink})
 	sched.At(0, func() { l.Deliver(0, packet.DataPacket(0, 0, 0)) })
 	sched.Run(units.MaxTime)
 	if len(sink.arrivals) != 1 {
@@ -44,7 +44,7 @@ func TestLinkPipelinesSerializationWithPropagation(t *testing.T) {
 	sched := sim.New()
 	sink := &captureSink{sched: sched}
 	l := NewLink(sched, 12*units.Mbps, 50*units.Millisecond, queue.NewInfinite())
-	l.SetRoute(func(int) Deliverer { return sink })
+	l.SetRoute([]Deliverer{sink})
 	sched.At(0, func() {
 		l.Deliver(0, packet.DataPacket(0, 0, 0))
 		l.Deliver(0, packet.DataPacket(0, 1, 0))
@@ -66,7 +66,7 @@ func TestLinkPreservesOrderWithinFlow(t *testing.T) {
 	sched := sim.New()
 	sink := &captureSink{sched: sched}
 	l := NewLink(sched, units.Mbps, units.Millisecond, queue.NewInfinite())
-	l.SetRoute(func(int) Deliverer { return sink })
+	l.SetRoute([]Deliverer{sink})
 	sched.At(0, func() {
 		for i := int64(0); i < 20; i++ {
 			l.Deliver(0, packet.DataPacket(0, i, 0))
@@ -85,12 +85,7 @@ func TestLinkRoutesPerFlow(t *testing.T) {
 	a := &captureSink{sched: sched}
 	b := &captureSink{sched: sched}
 	l := NewLink(sched, 10*units.Mbps, 0, queue.NewInfinite())
-	l.SetRoute(func(flow int) Deliverer {
-		if flow == 1 {
-			return a
-		}
-		return b
-	})
+	l.SetRoute([]Deliverer{nil, a, b})
 	sched.At(0, func() {
 		l.Deliver(0, packet.DataPacket(1, 0, 0))
 		l.Deliver(0, packet.DataPacket(2, 0, 0))
@@ -110,7 +105,7 @@ func TestLinkIdleRestarts(t *testing.T) {
 	sched := sim.New()
 	sink := &captureSink{sched: sched}
 	l := NewLink(sched, 12*units.Mbps, 0, queue.NewInfinite())
-	l.SetRoute(func(int) Deliverer { return sink })
+	l.SetRoute([]Deliverer{sink})
 	sched.At(0, func() { l.Deliver(0, packet.DataPacket(0, 0, 0)) })
 	sched.At(units.Time(units.Second), func() { l.Deliver(sched.Now(), packet.DataPacket(0, 1, 0)) })
 	sched.Run(units.MaxTime)

@@ -36,16 +36,16 @@ func buildDumbbell(rate units.Rate, minRTT units.Duration, q queue.Discipline,
 	nw := New()
 	link := NewLink(nw.Sched, rate, minRTT/2, q)
 	nw.AddLink(link)
-	receivers := make(map[int]*Receiver, n)
+	next := make([]Deliverer, n)
 	for i := 0; i < n; i++ {
 		st := &FlowStats{Flow: i, PropDelay: minRTT / 2, MinRTT: minRTT}
 		rcv := NewReceiver(nw.Sched, i, minRTT/2, st)
 		snd := NewSender(nw.Sched, i, mk(i), link, st)
 		rcv.SetSender(snd)
-		receivers[i] = rcv
+		next[i] = rcv
 		nw.AddFlow(&Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: wl(i)})
 	}
-	link.SetRoute(func(flow int) Deliverer { return receivers[flow] })
+	link.SetRoute(next)
 	return nw
 }
 
@@ -270,8 +270,8 @@ func TestTwoHopPath(t *testing.T) {
 	rcv := NewReceiver(nw.Sched, 0, 150*units.Millisecond, st)
 	snd := NewSender(nw.Sched, 0, &fixedCC{w: 1000}, l1, st)
 	rcv.SetSender(snd)
-	l1.SetRoute(func(int) Deliverer { return l2 })
-	l2.SetRoute(func(int) Deliverer { return rcv })
+	l1.SetRoute([]Deliverer{l2})
+	l2.SetRoute([]Deliverer{rcv})
 	nw.AddFlow(&Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: workload.AlwaysOn{}})
 	got := float64(nw.Run(30 * units.Second)[0].Throughput())
 	if got < 0.9*10e6 || got > 10.1e6 {

@@ -15,6 +15,8 @@ type pktRing struct {
 
 func (r *pktRing) push(p *packet.Packet) { r.buf = append(r.buf, p) }
 
+func (r *pktRing) len() int { return len(r.buf) - r.head }
+
 func (r *pktRing) pop() *packet.Packet {
 	p := r.buf[r.head]
 	r.buf[r.head] = nil

@@ -17,12 +17,17 @@ import (
 // it returns nil when no packet is available. Disciplines may also drop
 // at dequeue time (CoDel does); such drops are visible in Stats.
 type Discipline interface {
+	// Enqueue offers an arriving packet; false means dropped on
+	// arrival.
 	Enqueue(now units.Time, p *packet.Packet) bool
+	// Dequeue hands the next packet to the link, or nil when none is
+	// available.
 	Dequeue(now units.Time) *packet.Packet
 	// Len is the number of packets currently queued.
 	Len() int
 	// Bytes is the number of bytes currently queued.
 	Bytes() int
+	// Stats reports the discipline's accept/drop counters.
 	Stats() Stats
 }
 
@@ -32,7 +37,7 @@ type Stats struct {
 	Dequeued     int64 // packets handed to the link
 	DropsTail    int64 // packets dropped at enqueue (buffer overflow)
 	DropsAQM     int64 // packets dropped by active queue management
-	BytesDropped int64
+	BytesDropped int64 // total bytes across all drops
 }
 
 // Drops is the total number of dropped packets.
@@ -52,6 +57,7 @@ type DropRecorder func(now units.Time, p *packet.Packet)
 // the discipline; arrivals it rejects (Enqueue returns false) remain
 // owned by the caller, which recycles them itself.
 type PoolAware interface {
+	// SetPool attaches the pool dropped owned packets are returned to.
 	SetPool(pl *packet.Pool)
 }
 

@@ -13,6 +13,7 @@
 package remy
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,7 +31,11 @@ import (
 // Config describes the training-scenario distribution (§3.1) and the
 // designer's objective (§3.2).
 type Config struct {
-	// Topology of every training draw.
+	// Topology of every training draw: the dumbbell, the N-hop
+	// parking-lot family (per-link speeds are drawn independently from
+	// the LinkSpeed range), or an explicit graph. The description is
+	// JSON-serializable and ships to shard workers inside the job
+	// config, so distributed training sees identical topology draws.
 	Topology scenario.Topology
 
 	// LinkSpeedMin..Max: bottleneck rate, drawn log-uniformly (the
@@ -130,7 +135,7 @@ func (c *Config) normalize() Config {
 // draw is one concrete training scenario.
 type draw struct {
 	linkSpeed  units.Rate
-	linkSpeed2 units.Rate
+	linkSpeeds []units.Rate // per-link rates for multi-link topologies
 	minRTT     units.Duration
 	nTrainee   int
 	nAIMD      int
@@ -139,6 +144,10 @@ type draw struct {
 }
 
 // sample draws a concrete scenario from the training distribution.
+// Topologies with a fixed flow count (the parking-lot family, explicit
+// graphs) override the drawn sender count; multi-link topologies draw
+// every additional link's speed log-uniformly from the same range as
+// the first.
 func (c *Config) sample(r *rng.Stream) draw {
 	d := draw{
 		linkSpeed: units.Rate(r.LogUniform(float64(c.LinkSpeedMin), float64(c.LinkSpeedMax))),
@@ -146,9 +155,17 @@ func (c *Config) sample(r *rng.Stream) draw {
 			r.Uniform(0, float64(c.MinRTTMax-c.MinRTTMin))),
 		nTrainee: r.IntRange(c.SendersMin, c.SendersMax),
 	}
-	if c.Topology == scenario.ParkingLot {
-		d.linkSpeed2 = units.Rate(r.LogUniform(float64(c.LinkSpeedMin), float64(c.LinkSpeedMax)))
-		d.nTrainee = 3
+	switch c.Topology.Kind {
+	case scenario.KindParkingLot:
+		hops := c.Topology.Hops
+		d.linkSpeeds = make([]units.Rate, hops)
+		d.linkSpeeds[0] = d.linkSpeed
+		for i := 1; i < hops; i++ {
+			d.linkSpeeds[i] = units.Rate(r.LogUniform(float64(c.LinkSpeedMin), float64(c.LinkSpeedMax)))
+		}
+		d.nTrainee = c.Topology.FlowCount(0)
+	case scenario.KindGraph:
+		d.nTrainee = c.Topology.FlowCount(0)
 	}
 	if c.AIMDProb > 0 && d.nTrainee > 1 && r.Float64() < c.AIMDProb {
 		d.nTrainee--
@@ -162,6 +179,50 @@ func (c *Config) sample(r *rng.Stream) draw {
 	}
 	d.seed = r.Split("scenario")
 	return d
+}
+
+// Validate reports whether the configuration can train at all:
+// well-formed topology, drawable ranges, and sender counts consistent
+// with the topology's flow count. cmd/remytrain calls it before Train,
+// which treats a bad configuration as a programmer error.
+func (c *Config) Validate() error {
+	n := c.normalize()
+	if err := n.Topology.Validate(); err != nil {
+		return err
+	}
+	// Fixed-flow topologies dictate the sender count; an explicit
+	// SendersMin/Max that disagrees would be silently ignored by
+	// sample, so reject it instead.
+	if n.Topology.Kind != scenario.KindDumbbell {
+		want := n.Topology.FlowCount(0)
+		for _, got := range []int{c.SendersMin, c.SendersMax} {
+			if got != 0 && got != want {
+				return fmt.Errorf("remy: topology %v fixes the flow count at %d, but the config asks for %d senders",
+					n.Topology.Kind, want, got)
+			}
+		}
+	}
+	if n.LinkSpeedMin <= 0 {
+		return fmt.Errorf("remy: non-positive minimum link speed %v", n.LinkSpeedMin)
+	}
+	// Explicit graphs carry their own delays, but finite buffering is
+	// still sized by MinRTT, so only a no-drop graph config may omit it.
+	if n.MinRTTMin <= 0 && (n.Topology.Kind != scenario.KindGraph || n.Buffering != scenario.NoDrop) {
+		return fmt.Errorf("remy: non-positive minimum RTT %v", n.MinRTTMin)
+	}
+	if n.Topology.Kind == scenario.KindParkingLot && n.MinRTTMin/units.Duration(2*n.Topology.Hops) <= 0 {
+		return fmt.Errorf("remy: minimum RTT %v too small for %d hops", n.MinRTTMin, n.Topology.Hops)
+	}
+	if n.Topology.Kind != scenario.KindDumbbell && n.Other != nil && n.OtherCountMax > 0 {
+		return fmt.Errorf("remy: partner senders require a dumbbell (topology %v has a fixed flow count)", n.Topology.Kind)
+	}
+	if n.AIMDProb < 0 || n.AIMDProb > 1 {
+		return fmt.Errorf("remy: AIMD probability %v outside [0,1]", n.AIMDProb)
+	}
+	if n.MeanOn <= 0 || n.MeanOff <= 0 {
+		return fmt.Errorf("remy: on/off workload means must be positive (on %v, off %v)", n.MeanOn, n.MeanOff)
+	}
+	return nil
 }
 
 // generationDraws derives one generation's common scenario draws from
@@ -203,7 +264,7 @@ func (c *Config) evalOne(tree *remycc.Tree, d draw, usage *remycc.UsageStats) fl
 	spec := scenario.Spec{
 		Topology:   c.Topology,
 		LinkSpeed:  d.linkSpeed,
-		LinkSpeed2: d.linkSpeed2,
+		LinkSpeeds: d.linkSpeeds,
 		MinRTT:     d.minRTT,
 		Buffering:  c.Buffering,
 		BufferBDP:  c.BufferBDP,
@@ -213,7 +274,7 @@ func (c *Config) evalOne(tree *remycc.Tree, d draw, usage *remycc.UsageStats) fl
 		Duration:   c.Duration,
 		Seed:       d.seed,
 	}
-	results := scenario.Run(spec)
+	results := scenario.MustRun(spec)
 
 	score, n := 0.0, 0
 	scoreFlow := func(i int, delta float64) {
@@ -496,8 +557,14 @@ func neighbors(a remycc.Action, disablePacing bool) []remycc.Action {
 // (guards against chasing simulation noise).
 const improvementEpsilon = 1e-4
 
-// Train runs the search and returns the trained tree.
+// Train runs the search and returns the trained tree. The
+// configuration must pass Validate; training has no error path, so a
+// bad config panics with Validate's diagnostic rather than failing
+// obscurely deep inside a generation.
 func (t *Trainer) Train(b Budget) *remycc.Tree {
+	if err := t.Cfg.Validate(); err != nil {
+		panic("remy: invalid training config: " + err.Error())
+	}
 	cfg := t.Cfg.normalize()
 	b = b.normalize()
 	stop := t.startPool()

@@ -6,6 +6,7 @@ import (
 	"learnability/internal/cc/remycc"
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
+	"learnability/internal/topo"
 	"learnability/internal/units"
 )
 
@@ -64,6 +65,50 @@ func TestTrainingDeterministic(t *testing.T) {
 	for i := range t1.Whiskers {
 		if t1.Whiskers[i] != t2.Whiskers[i] {
 			t.Fatalf("whisker %d differs:\n%+v\n%+v", i, t1.Whiskers[i], t2.Whiskers[i])
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tinyConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	pl := tinyConfig()
+	pl.Topology = scenario.ParkingLotN(3, true)
+	pl.SendersMin, pl.SendersMax = 0, 0
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("valid parking-lot config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"zero hops":      func(c *Config) { c.Topology = scenario.Topology{Kind: scenario.KindParkingLot} },
+		"nil graph":      func(c *Config) { c.Topology = scenario.Topology{Kind: scenario.KindGraph} },
+		"bad kind":       func(c *Config) { c.Topology = scenario.Topology{Kind: scenario.TopologyKind(99)} },
+		"zero speed":     func(c *Config) { c.LinkSpeedMin, c.LinkSpeedMax = 0, 0 },
+		"zero rtt":       func(c *Config) { c.MinRTTMin, c.MinRTTMax = 0, 0 },
+		"bad aimd":       func(c *Config) { c.AIMDProb = 1.5 },
+		"zero means":     func(c *Config) { c.MeanOn = 0 },
+		"partner-on-lot": func(c *Config) { c.Topology = scenario.ParkingLot; c.Other = remycc.NewTree(); c.OtherCountMax = 1 },
+		"rtt-under-hops": func(c *Config) {
+			c.Topology = scenario.ParkingLotN(3, true)
+			c.SendersMin, c.SendersMax = 0, 0
+			c.MinRTTMin = 4
+			c.MinRTTMax = 4
+		},
+		"sender-mismatch": func(c *Config) { c.Topology = scenario.ParkingLotN(3, true); c.SendersMax = 10 },
+		"graph-finite-buffer-no-rtt": func(c *Config) {
+			c.Topology = scenario.GraphTopology(&topo.Graph{
+				Edges:  []topo.Edge{{Rate: units.Mbps, Prop: units.Millisecond}},
+				Routes: []topo.Route{{Links: []int{0}}, {Links: []int{0}}},
+			})
+			c.SendersMin, c.SendersMax = 0, 0
+			c.MinRTTMin, c.MinRTTMax = 0, 0 // finite buffering still needs MinRTT
+		},
+	} {
+		c := tinyConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
 		}
 	}
 }

@@ -10,7 +10,9 @@
 // recompute its slice bit-for-bit — the root seed and generation number
 // (from which the worker re-derives the generation's scenario draws via
 // rng.New(Seed).SplitN("generation", Gen)), the stable-binary candidate
-// trees (remycc's codec), and the training config. Evaluation is a pure
+// trees (remycc's codec), and the training config, whose declarative
+// topology description (links, paths, per-link speed ranges) rides
+// along so workers rebuild the exact multi-hop network of every draw. Evaluation is a pure
 // function of the Job, so a crashed or timed-out worker's Job can be
 // requeued on any other worker (or evaluated in-process as a last
 // resort) without changing the outcome. Scores and usage statistics
@@ -30,8 +32,11 @@ import (
 )
 
 // ProtocolVersion is carried in every Job; workers reject mismatches
-// rather than silently miscomputing.
-const ProtocolVersion = 1
+// rather than silently miscomputing. Version 2 added topology-bearing
+// training configs: Cfg's topology field became a declarative graph
+// description (kind/hops/cross or explicit edges and routes) instead of
+// a two-member enum, so jobs ship arbitrary multi-hop topologies.
+const ProtocolVersion = 2
 
 // maxFrame bounds one wire frame. Jobs are dominated by candidate
 // trees (~100 bytes per whisker), so real frames are kilobytes; the cap

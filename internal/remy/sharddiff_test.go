@@ -17,6 +17,9 @@ import (
 
 	"learnability/internal/cc/remycc"
 	"learnability/internal/remy/shard"
+	"learnability/internal/scenario"
+	"learnability/internal/topo"
+	"learnability/internal/units"
 )
 
 // TestShardWorkerProcess is not a test: it is the worker half of the
@@ -133,6 +136,70 @@ func TestShardedTrainRequeuesKilledWorker(t *testing.T) {
 	got := trainBytes(t, tr)
 	if !bytes.Equal(got, want) {
 		t.Fatal("killed-and-requeued workers changed the trained tree")
+	}
+}
+
+// tinyParkingLotConfig is a topology-bearing training distribution: a
+// 3-hop parking lot with cross traffic, so every draw samples three
+// independent link speeds and jobs ship the multi-hop description.
+func tinyParkingLotConfig() Config {
+	c := tinyConfig()
+	c.Topology = scenario.ParkingLotN(3, true)
+	c.SendersMin, c.SendersMax = 0, 0 // the topology fixes the flow count
+	c.MinRTTMin = 120 * units.Millisecond
+	c.MinRTTMax = 120 * units.Millisecond
+	return c
+}
+
+// tinyGraphConfig trains over an explicit link/path graph, exercising
+// the graph description's trip across the shard wire protocol.
+func tinyGraphConfig() Config {
+	c := tinyConfig()
+	c.SendersMin, c.SendersMax = 0, 0 // the topology fixes the flow count
+	c.Topology = scenario.GraphTopology(&topo.Graph{
+		Edges: []topo.Edge{
+			{Rate: 8 * units.Mbps, Prop: 20 * units.Millisecond},
+			{Rate: 8 * units.Mbps, Prop: 10 * units.Millisecond},
+			{Rate: 16 * units.Mbps, Prop: 20 * units.Millisecond},
+		},
+		Routes: []topo.Route{
+			{Links: []int{0, 1, 2}},
+			{Links: []int{1}},
+			{Links: []int{0, 2}},
+		},
+	})
+	return c
+}
+
+// TestShardedTrainBitEqualTopologies extends the byte-equality
+// guarantee to topology-bearing generations: sharded training over
+// multi-hop topology draws (family and explicit-graph descriptions
+// shipped inside the job config) must match in-process training
+// byte for byte, over both in-process lanes and worker processes.
+func TestShardedTrainBitEqualTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	t.Setenv("REMY_SHARD_WORKER", "1")
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"parkinglot3", tinyParkingLotConfig()},
+		{"graph", tinyGraphConfig()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed = 7
+			want := trainBytes(t, &Trainer{Cfg: tc.cfg, Seed: seed, Workers: 4})
+			lanes := trainBytes(t, &Trainer{Cfg: tc.cfg, Seed: seed, Workers: 4, Shards: 3})
+			if !bytes.Equal(lanes, want) {
+				t.Fatal("in-process shard lanes changed the trained tree")
+			}
+			procs := trainBytes(t, &Trainer{Cfg: tc.cfg, Seed: seed, Shards: 2, ShardCmd: workerCmd()})
+			if !bytes.Equal(procs, want) {
+				t.Fatal("worker processes changed the trained tree")
+			}
+		})
 	}
 }
 

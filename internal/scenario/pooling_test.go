@@ -51,7 +51,7 @@ func pooledVariants() map[string]func(seed uint64) Spec {
 			s := baseSpec()
 			s.Seed = rng.New(seed)
 			s.Topology = ParkingLot
-			s.LinkSpeed2 = 8 * units.Mbps
+			s.LinkSpeeds = []units.Rate{0, 8 * units.Mbps}
 			s.Senders = []Sender{
 				{Alg: cubic.New(), Delta: 1},
 				{Alg: cubic.New(), Delta: 1},
@@ -71,11 +71,11 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			for seed := uint64(1); seed <= 3; seed++ {
 				pooled := mk(seed)
-				res1 := Run(pooled)
+				res1 := MustRun(pooled)
 
 				unpooled := mk(seed)
 				unpooled.DisablePacketPool = true
-				res2 := Run(unpooled)
+				res2 := MustRun(unpooled)
 
 				if len(res1) != len(res2) {
 					t.Fatalf("seed %d: result counts differ: %d vs %d", seed, len(res1), len(res2))
@@ -97,7 +97,7 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 func TestSeedDeterminismAcrossVariants(t *testing.T) {
 	for name, mk := range pooledVariants() {
 		t.Run(name, func(t *testing.T) {
-			a, b := Run(mk(7)), Run(mk(7))
+			a, b := MustRun(mk(7)), MustRun(mk(7))
 			for i := range a {
 				if a[i] != b[i] {
 					t.Fatalf("replay diverged at flow %d: %+v vs %+v", i, a[i], b[i])

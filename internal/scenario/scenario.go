@@ -5,9 +5,17 @@
 // training distribution) and the experiment runners (which evaluate
 // trained protocols on testing sweeps) execute scenarios through this
 // package.
+//
+// Topologies are declarative graph descriptions (internal/topo): the
+// built-in families — the dumbbell, the paper's Figure 5 parking lot,
+// and its N-hop generalization with optional cross-traffic — compile to
+// the same link/path graph an explicit Topology.Graph does, so every
+// scenario runs through one engine.
 package scenario
 
 import (
+	"fmt"
+
 	"learnability/internal/cc"
 	"learnability/internal/netsim"
 	"learnability/internal/queue"
@@ -17,17 +25,127 @@ import (
 	"learnability/internal/workload"
 )
 
-// Topology selects the network shape.
-type Topology int
+// TopologyKind enumerates the built-in topology families.
+type TopologyKind int
 
-// Supported topologies.
+// Supported topology families.
 const (
+	// KindDumbbell is a single shared bottleneck crossed by every
+	// sender.
+	KindDumbbell TopologyKind = iota
+	// KindParkingLot is the N-hop parking lot: Hops bottleneck links in
+	// series, LongFlows flows crossing all of them, and (with
+	// CrossTraffic) one single-hop flow per link.
+	KindParkingLot
+	// KindGraph is an explicit link/path graph description.
+	KindGraph
+)
+
+// String names the topology family for experiment tables.
+func (k TopologyKind) String() string {
+	switch k {
+	case KindDumbbell:
+		return "dumbbell"
+	case KindParkingLot:
+		return "parking-lot"
+	case KindGraph:
+		return "graph"
+	default:
+		return "unknown"
+	}
+}
+
+// Topology declaratively selects the network shape. The zero value is
+// a dumbbell; Dumbbell and ParkingLot name the paper's two shapes, and
+// ParkingLotN opens the N-hop family. Topology descriptions are
+// JSON-serializable, so training configurations carry them across the
+// sharded trainer's wire protocol.
+type Topology struct {
+	// Kind selects the topology family.
+	Kind TopologyKind `json:"kind"`
+	// Hops is the number of bottleneck links (KindParkingLot; >= 1).
+	Hops int `json:"hops,omitempty"`
+	// LongFlows is the number of flows crossing every hop
+	// (KindParkingLot; 0 means 1).
+	LongFlows int `json:"long_flows,omitempty"`
+	// CrossTraffic adds one single-hop flow per link (KindParkingLot).
+	CrossTraffic bool `json:"cross,omitempty"`
+	// Graph is the explicit description for KindGraph.
+	Graph *topo.Graph `json:"graph,omitempty"`
+}
+
+// The paper's two topologies.
+var (
 	// Dumbbell is a single shared bottleneck.
-	Dumbbell Topology = iota
+	Dumbbell = Topology{Kind: KindDumbbell}
 	// ParkingLot is the paper's Figure 5 two-bottleneck topology; it
 	// requires exactly three senders (flow 0 crosses both links).
-	ParkingLot
+	ParkingLot = Topology{Kind: KindParkingLot, Hops: 2, CrossTraffic: true}
 )
+
+// ParkingLotN describes an N-hop parking lot: hops bottleneck links in
+// series, one flow crossing all of them and — when cross is set — one
+// single-hop cross-traffic flow per link. ParkingLotN(2, true) is the
+// paper's Figure 5 shape.
+func ParkingLotN(hops int, cross bool) Topology {
+	return Topology{Kind: KindParkingLot, Hops: hops, CrossTraffic: cross}
+}
+
+// GraphTopology wraps an explicit link/path graph description.
+func GraphTopology(g *topo.Graph) Topology {
+	return Topology{Kind: KindGraph, Graph: g}
+}
+
+// longFlows resolves the parking-lot family's long-flow count.
+func (t Topology) longFlows() int {
+	if t.LongFlows <= 0 {
+		return 1
+	}
+	return t.LongFlows
+}
+
+// Validate checks that the topology description itself is well formed
+// (sender-count agreement is checked at Build time, when the senders
+// are known).
+func (t Topology) Validate() error {
+	switch t.Kind {
+	case KindDumbbell:
+		return nil
+	case KindParkingLot:
+		if t.Hops < 1 {
+			return fmt.Errorf("scenario: parking lot needs at least 1 hop, got %d", t.Hops)
+		}
+		return nil
+	case KindGraph:
+		if t.Graph == nil {
+			return fmt.Errorf("scenario: graph topology without a graph")
+		}
+		return t.Graph.Validate()
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %d", t.Kind)
+	}
+}
+
+// FlowCount reports how many senders the topology requires, given the
+// number a dumbbell would use (the dumbbell is the only family whose
+// flow count is free).
+func (t Topology) FlowCount(dumbbellSenders int) int {
+	switch t.Kind {
+	case KindParkingLot:
+		n := t.longFlows()
+		if t.CrossTraffic {
+			n += t.Hops
+		}
+		return n
+	case KindGraph:
+		if t.Graph == nil {
+			return 0
+		}
+		return t.Graph.NumFlows()
+	default:
+		return dumbbellSenders
+	}
+}
 
 // Buffering selects the gateway queue.
 type Buffering int
@@ -64,15 +182,18 @@ type Spec struct {
 	// Topology selects the network shape.
 	Topology Topology
 
-	// LinkSpeed is the (first) bottleneck rate. LinkSpeed2 is the
-	// second bottleneck's rate, used only by ParkingLot.
+	// LinkSpeed is the default bottleneck rate: any link without a
+	// per-link override runs at this rate.
 	LinkSpeed units.Rate
-	// LinkSpeed2 is the second bottleneck's rate (ParkingLot only).
-	LinkSpeed2 units.Rate
+	// LinkSpeeds optionally overrides the rate per link, in link
+	// order; zero entries fall back to LinkSpeed.
+	LinkSpeeds []units.Rate
 
 	// MinRTT is the round-trip propagation delay of a dumbbell flow.
-	// For ParkingLot it is the *long* flow's minimum RTT; each hop
-	// contributes MinRTT/4 of one-way propagation.
+	// For the parking-lot family it is the *long* flow's minimum RTT;
+	// each of Hops hops contributes MinRTT/(2*Hops) of one-way
+	// propagation. Ignored by explicit graphs (their edges carry
+	// delays), except as the per-link buffer-sizing RTT below.
 	MinRTT units.Duration
 
 	// Buffering and BufferBDP configure each gateway queue. BufferBDP
@@ -118,6 +239,61 @@ type Spec struct {
 	UseMapScoreboard bool
 }
 
+// linkRate resolves link i's rate: the per-link override, then the
+// spec-wide LinkSpeed.
+func (s *Spec) linkRate(i int) units.Rate {
+	if i < len(s.LinkSpeeds) && s.LinkSpeeds[i] > 0 {
+		return s.LinkSpeeds[i]
+	}
+	return s.LinkSpeed
+}
+
+// Layout compiles the spec's topology into the concrete link/path
+// graph the run will execute: built-in families are expanded with the
+// spec's rates and delays, explicit graphs are validated and returned
+// as-is. Per-flow propagation, minimum RTT, and fair share all derive
+// from this graph.
+func (s *Spec) Layout() (*topo.Graph, error) {
+	if err := s.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Senders) == 0 {
+		return nil, fmt.Errorf("scenario: spec has no senders")
+	}
+	if want := s.Topology.FlowCount(len(s.Senders)); len(s.Senders) != want {
+		return nil, fmt.Errorf("scenario: topology %v routes %d flows, spec has %d senders",
+			s.Topology.Kind, want, len(s.Senders))
+	}
+	switch s.Topology.Kind {
+	case KindDumbbell:
+		if s.MinRTT <= 0 {
+			return nil, fmt.Errorf("scenario: dumbbell with non-positive MinRTT %v", s.MinRTT)
+		}
+		if s.linkRate(0) <= 0 {
+			return nil, fmt.Errorf("scenario: dumbbell with non-positive link speed %v", s.linkRate(0))
+		}
+		return topo.DumbbellGraph(s.linkRate(0), s.MinRTT, len(s.Senders)), nil
+	case KindParkingLot:
+		hops := s.Topology.Hops
+		hop := s.MinRTT / units.Duration(2*hops)
+		if hop <= 0 {
+			return nil, fmt.Errorf("scenario: parking lot with MinRTT %v over %d hops", s.MinRTT, hops)
+		}
+		rates := make([]units.Rate, hops)
+		for i := range rates {
+			rates[i] = s.linkRate(i)
+			if rates[i] <= 0 {
+				return nil, fmt.Errorf("scenario: parking-lot link %d has non-positive speed %v", i, rates[i])
+			}
+		}
+		return topo.ParkingLotGraph(rates, hop, s.Topology.longFlows(), s.Topology.CrossTraffic), nil
+	case KindGraph:
+		return s.Topology.Graph, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %d", s.Topology.Kind)
+	}
+}
+
 // Result reports one flow's outcome.
 type Result struct {
 	Flow        int            // flow index (Spec.Senders order)
@@ -133,67 +309,74 @@ type Result struct {
 }
 
 // Run executes the scenario and returns one Result per sender, in
-// order.
-func Run(spec Spec) []Result {
-	nw, _ := Build(spec)
-	return Finish(spec, nw)
+// order. It returns an error for an invalid spec (bad topology,
+// sender-count mismatch, missing seed, ...).
+func Run(spec Spec) ([]Result, error) {
+	nw, _, lay, err := build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return finish(spec, lay, nw), nil
+}
+
+// MustRun is Run for specs known to be valid (experiment runners and
+// the trainer construct theirs programmatically from validated
+// configurations); it panics on a spec error.
+func MustRun(spec Spec) []Result {
+	res, err := Run(spec)
+	if err != nil {
+		panic("scenario: " + err.Error())
+	}
+	return res
 }
 
 // Build assembles the network for a spec without running it, so
 // callers can attach probes (queue samplers, drop recorders). The
 // returned queues are the gateway disciplines in link order.
-func Build(spec Spec) (*netsim.Network, []queue.Discipline) {
+func Build(spec Spec) (*netsim.Network, []queue.Discipline, error) {
+	nw, queues, _, err := build(spec)
+	return nw, queues, err
+}
+
+// build is Build plus the compiled layout, so Run can hand it to
+// finish instead of recompiling the graph after the simulation.
+func build(spec Spec) (*netsim.Network, []queue.Discipline, *topo.Graph, error) {
 	if spec.Seed == nil {
-		panic("scenario: spec needs a seed stream")
+		return nil, nil, nil, fmt.Errorf("scenario: spec needs a seed stream")
 	}
 	if spec.Duration <= 0 {
-		panic("scenario: spec needs a positive duration")
+		return nil, nil, nil, fmt.Errorf("scenario: spec needs a positive duration")
 	}
-	mkQueue := func(rate units.Rate) queue.Discipline {
-		switch spec.Buffering {
-		case NoDrop:
-			return queue.NewInfinite()
-		case FiniteDropTail, SfqCoDel:
-			capBytes := int(float64(units.BDPBytes(rate, spec.MinRTT)) * spec.BufferBDP)
-			if capBytes < 2*1500 {
-				capBytes = 2 * 1500
-			}
-			if spec.Buffering == SfqCoDel {
-				return queue.NewSFQCoDel(queue.SFQCoDelBins, capBytes)
-			}
-			return queue.NewDropTail(capBytes)
-		default:
-			panic("scenario: unknown buffering")
+	lay, err := spec.Layout()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	queues := make([]queue.Discipline, len(lay.Edges))
+	for i, e := range lay.Edges {
+		q, err := spec.mkQueue(e.Rate)
+		if err != nil {
+			return nil, nil, nil, err
 		}
+		queues[i] = q
 	}
 
 	flows := make([]topo.FlowSpec, len(spec.Senders))
 	for i, snd := range spec.Senders {
 		wl := snd.Workload
 		if wl == nil {
+			if spec.MeanOn <= 0 || spec.MeanOff <= 0 {
+				return nil, nil, nil, fmt.Errorf("scenario: sender %d needs the default on/off workload, but means are %v on / %v off",
+					i, spec.MeanOn, spec.MeanOff)
+			}
 			wl = workload.NewOnOff(spec.MeanOn, spec.MeanOff, spec.Seed.SplitN("workload", i))
 		}
 		flows[i] = topo.FlowSpec{Alg: snd.Alg, Workload: wl}
 	}
 
-	var nw *netsim.Network
-	var queues []queue.Discipline
-	switch spec.Topology {
-	case Dumbbell:
-		q := mkQueue(spec.LinkSpeed)
-		nw = topo.Dumbbell(spec.LinkSpeed, spec.MinRTT, q, flows)
-		queues = []queue.Discipline{q}
-	case ParkingLot:
-		if len(spec.Senders) != 3 {
-			panic("scenario: parking lot needs exactly 3 senders")
-		}
-		q1 := mkQueue(spec.LinkSpeed)
-		q2 := mkQueue(spec.LinkSpeed2)
-		hop := units.Duration(spec.MinRTT / 4)
-		nw = topo.ParkingLot(spec.LinkSpeed, spec.LinkSpeed2, hop, q1, q2, flows)
-		queues = []queue.Discipline{q1, q2}
-	default:
-		panic("scenario: unknown topology")
+	nw, err := topo.Build(lay, queues, flows)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	if spec.DisablePacketPool {
 		nw.Pool.Disable()
@@ -203,12 +386,58 @@ func Build(spec Spec) (*netsim.Network, []queue.Discipline) {
 			f.Sender.UseMapScoreboard()
 		}
 	}
+	return nw, queues, lay, nil
+}
+
+// MustBuild is Build for specs known to be valid; it panics on a spec
+// error.
+func MustBuild(spec Spec) (*netsim.Network, []queue.Discipline) {
+	nw, queues, err := Build(spec)
+	if err != nil {
+		panic("scenario: " + err.Error())
+	}
 	return nw, queues
 }
 
+// mkQueue builds one gateway queue for a link of the given rate.
+func (s *Spec) mkQueue(rate units.Rate) (queue.Discipline, error) {
+	switch s.Buffering {
+	case NoDrop:
+		return queue.NewInfinite(), nil
+	case FiniteDropTail, SfqCoDel:
+		// Finite buffers are sized in BDPs of MinRTT even for explicit
+		// graphs (whose layout otherwise ignores the field); without it
+		// every buffer would silently floor at two packets.
+		if s.MinRTT <= 0 {
+			return nil, fmt.Errorf("scenario: finite buffering is sized by MinRTT, which is %v", s.MinRTT)
+		}
+		capBytes := int(float64(units.BDPBytes(rate, s.MinRTT)) * s.BufferBDP)
+		if capBytes < 2*1500 {
+			capBytes = 2 * 1500
+		}
+		if s.Buffering == SfqCoDel {
+			return queue.NewSFQCoDel(queue.SFQCoDelBins, capBytes), nil
+		}
+		return queue.NewDropTail(capBytes), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown buffering %d", s.Buffering)
+	}
+}
+
 // Finish runs a built network for the spec's duration and collects
-// results.
+// results. The spec must be the one the network was built from (Build
+// has already validated it, so layout failures here are programmer
+// errors and panic).
 func Finish(spec Spec, nw *netsim.Network) []Result {
+	lay, err := spec.Layout()
+	if err != nil {
+		panic("scenario: Finish on invalid spec: " + err.Error())
+	}
+	return finish(spec, lay, nw)
+}
+
+// finish executes a built network against its already-compiled layout.
+func finish(spec Spec, lay *topo.Graph, nw *netsim.Network) []Result {
 	if spec.Probe != nil {
 		interval := spec.ProbeInterval
 		if interval <= 0 {
@@ -225,7 +454,7 @@ func Finish(spec Spec, nw *netsim.Network) []Result {
 			Delay:       st.AvgDelay(),
 			QueueDelay:  st.AvgQueueingDelay(),
 			MinRTT:      st.MinRTT,
-			FairShare:   fairShare(spec, i),
+			FairShare:   lay.FairShare(i),
 			OnTime:      st.OnTime,
 			Retransmits: st.Retransmits,
 			Timeouts:    st.Timeouts,
@@ -233,29 +462,4 @@ func Finish(spec Spec, nw *netsim.Network) []Result {
 		}
 	}
 	return out
-}
-
-// fairShare is the equal split of the flow's bottleneck link among all
-// senders sharing it, used for normalized objectives.
-func fairShare(spec Spec, flow int) units.Rate {
-	switch spec.Topology {
-	case Dumbbell:
-		return spec.LinkSpeed / units.Rate(len(spec.Senders))
-	case ParkingLot:
-		// Each link carries two flows.
-		switch flow {
-		case 0:
-			r := spec.LinkSpeed
-			if spec.LinkSpeed2 < r {
-				r = spec.LinkSpeed2
-			}
-			return r / 2
-		case 1:
-			return spec.LinkSpeed / 2
-		default:
-			return spec.LinkSpeed2 / 2
-		}
-	default:
-		panic("scenario: unknown topology")
-	}
 }

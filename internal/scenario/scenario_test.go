@@ -9,6 +9,7 @@ import (
 	"learnability/internal/cc/newreno"
 	"learnability/internal/queue"
 	"learnability/internal/rng"
+	"learnability/internal/topo"
 	"learnability/internal/units"
 	"learnability/internal/workload"
 )
@@ -36,7 +37,7 @@ func baseSpec() Spec {
 }
 
 func TestRunDumbbell(t *testing.T) {
-	results := Run(baseSpec())
+	results := MustRun(baseSpec())
 	if len(results) != 2 {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -61,7 +62,7 @@ func TestRunDeterministic(t *testing.T) {
 		s := baseSpec()
 		s.Seed = rng.New(77)
 		s.Senders = twoCubic()
-		return Run(s)
+		return MustRun(s)
 	}
 	a, b := mk(), mk()
 	for i := range a {
@@ -77,7 +78,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 	s2 := baseSpec()
 	s2.Seed = rng.New(2)
 	s2.Senders = twoCubic()
-	a, b := Run(s1), Run(s2)
+	a, b := MustRun(s1), MustRun(s2)
 	if a[0].Throughput == b[0].Throughput && a[0].Delay == b[0].Delay {
 		t.Fatal("different seeds produced identical results")
 	}
@@ -88,7 +89,7 @@ func TestBufferingKinds(t *testing.T) {
 		s := baseSpec()
 		s.Buffering = buf
 		s.Senders = twoCubic()
-		results := Run(s)
+		results := MustRun(s)
 		if results[0].Throughput <= 0 && results[1].Throughput <= 0 {
 			t.Errorf("buffering %v: no traffic", buf)
 		}
@@ -97,7 +98,10 @@ func TestBufferingKinds(t *testing.T) {
 
 func TestBuildReturnsQueues(t *testing.T) {
 	s := baseSpec()
-	_, qs := Build(s)
+	_, qs, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(qs) != 1 {
 		t.Fatalf("dumbbell should expose 1 queue, got %d", len(qs))
 	}
@@ -106,7 +110,10 @@ func TestBuildReturnsQueues(t *testing.T) {
 	}
 	s.Buffering = SfqCoDel
 	s.Senders = twoCubic()
-	_, qs = Build(s)
+	_, qs, err = Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := qs[0].(*queue.SFQCoDel); !ok {
 		t.Fatalf("expected SFQCoDel, got %T", qs[0])
 	}
@@ -119,7 +126,10 @@ func TestBufferFloor(t *testing.T) {
 	s.MinRTT = 2 * units.Millisecond
 	s.BufferBDP = 1
 	s.Senders = twoCubic()
-	_, qs := Build(s)
+	_, qs, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dt := qs[0].(*queue.DropTail)
 	if dt.Capacity() < 2*1500 {
 		t.Fatalf("buffer capacity %d below floor", dt.Capacity())
@@ -130,7 +140,7 @@ func TestParkingLotSpec(t *testing.T) {
 	s := Spec{
 		Topology:   ParkingLot,
 		LinkSpeed:  10 * units.Mbps,
-		LinkSpeed2: 20 * units.Mbps,
+		LinkSpeeds: []units.Rate{0, 20 * units.Mbps},
 		MinRTT:     300 * units.Millisecond,
 		Buffering:  FiniteDropTail,
 		BufferBDP:  1,
@@ -144,7 +154,7 @@ func TestParkingLotSpec(t *testing.T) {
 			{Alg: newreno.New(), Delta: 1},
 		},
 	}
-	results := Run(s)
+	results := MustRun(s)
 	if results[0].MinRTT != 300*units.Millisecond {
 		t.Fatalf("long flow MinRTT = %v", results[0].MinRTT)
 	}
@@ -158,7 +168,10 @@ func TestParkingLotSpec(t *testing.T) {
 	if results[2].FairShare != 10*units.Mbps {
 		t.Fatalf("flow 2 fair share = %v", results[2].FairShare)
 	}
-	_, qs := Build(s)
+	_, qs, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(qs) != 2 {
 		t.Fatalf("parking lot should expose 2 queues, got %d", len(qs))
 	}
@@ -170,7 +183,7 @@ func TestWorkloadOverride(t *testing.T) {
 		{Alg: cubic.New(), Delta: 1, Workload: workload.AlwaysOn{}},
 		{Alg: cubic.New(), Delta: 1, Workload: &workload.Deterministic{InitialOn: false}},
 	}
-	results := Run(s)
+	results := MustRun(s)
 	if results[0].OnTime != s.Duration {
 		t.Fatalf("always-on flow OnTime = %v, want %v", results[0].OnTime, s.Duration)
 	}
@@ -183,22 +196,40 @@ func TestWorkloadOverride(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	for _, mutate := range []func(*Spec){
-		func(s *Spec) { s.Seed = nil },
-		func(s *Spec) { s.Duration = 0 },
-		func(s *Spec) { s.Topology = ParkingLot }, // wrong sender count
+	for name, mutate := range map[string]func(*Spec){
+		"nil seed":         func(s *Spec) { s.Seed = nil },
+		"zero duration":    func(s *Spec) { s.Duration = 0 },
+		"sender mismatch":  func(s *Spec) { s.Topology = ParkingLot },
+		"no senders":       func(s *Spec) { s.Senders = nil },
+		"zero minRTT":      func(s *Spec) { s.MinRTT = 0 },
+		"zero link speed":  func(s *Spec) { s.LinkSpeed = 0 },
+		"bad buffering":    func(s *Spec) { s.Buffering = Buffering(99) },
+		"bad kind":         func(s *Spec) { s.Topology = Topology{Kind: TopologyKind(99)} },
+		"zero on mean":     func(s *Spec) { s.MeanOn = 0 },
+		"parking lot 0hop": func(s *Spec) { s.Topology = Topology{Kind: KindParkingLot} },
+		"nil graph":        func(s *Spec) { s.Topology = Topology{Kind: KindGraph} },
+		"graph no minRTT": func(s *Spec) {
+			s.Topology = GraphTopology(topo.DumbbellGraph(s.LinkSpeed, s.MinRTT, len(s.Senders)))
+			s.MinRTT = 0 // finite buffers are sized by MinRTT even for graphs
+		},
 	} {
 		s := baseSpec()
 		mutate(&s)
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			Run(s)
-		}()
+		if _, err := Run(s); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
+	// MustRun turns the same spec errors into panics.
+	s := baseSpec()
+	s.Seed = nil
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRun: expected panic")
+			}
+		}()
+		MustRun(s)
+	}()
 }
 
 // Property: for random dumbbell scenarios, physics holds — goodput
@@ -223,7 +254,7 @@ func TestPropertyPhysics(t *testing.T) {
 			Seed:      rng.New(seed),
 			Senders:   twoCubic(),
 		}
-		for _, r := range Run(s) {
+		for _, r := range MustRun(s) {
 			if r.Delay < minRTT/2 && r.OnTime > 0 {
 				return false
 			}
@@ -248,7 +279,7 @@ func TestMixedAlgorithms(t *testing.T) {
 		{Alg: cubic.New(), Delta: 1},
 		{Alg: newreno.New(), Delta: 1},
 	}
-	results := Run(s)
+	results := MustRun(s)
 	for _, r := range results {
 		if r.Throughput <= 0 {
 			t.Fatalf("flow %d starved in mixed network", r.Flow)

@@ -13,11 +13,11 @@ func TestRingScoreboardMatchesMap(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			for seed := uint64(1); seed <= 3; seed++ {
 				ring := mk(seed)
-				res1 := Run(ring)
+				res1 := MustRun(ring)
 
 				ref := mk(seed)
 				ref.UseMapScoreboard = true
-				res2 := Run(ref)
+				res2 := MustRun(ref)
 
 				if len(res1) != len(res2) {
 					t.Fatalf("seed %d: result counts differ: %d vs %d", seed, len(res1), len(res2))

@@ -86,11 +86,11 @@ func StdDev(xs []float64) float64 {
 // delay (the small white circle) and one standard deviation in each
 // coordinate (the ellipse).
 type Summary struct {
-	MedianTptBps   float64
-	MedianDelaySec float64
-	StdTptBps      float64
-	StdDelaySec    float64
-	N              int
+	MedianTptBps   float64 // median throughput, bits per second
+	MedianDelaySec float64 // median per-packet delay, seconds
+	StdTptBps      float64 // throughput standard deviation (ellipse width)
+	StdDelaySec    float64 // delay standard deviation (ellipse height)
+	N              int     // number of samples summarized
 }
 
 // Summarize builds a Summary from parallel slices of throughput and

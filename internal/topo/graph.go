@@ -1,0 +1,209 @@
+package topo
+
+import (
+	"fmt"
+
+	"learnability/internal/netsim"
+	"learnability/internal/queue"
+	"learnability/internal/units"
+)
+
+// Edge is one unidirectional link in a Graph description: a rate and a
+// propagation delay. Edges carry no queueing discipline — queues are
+// supplied at Build time — so a Graph is a pure, JSON-serializable
+// description that can cross process boundaries (the sharded trainer
+// ships topologies inside its job config).
+type Edge struct {
+	// Rate is the link's serialization rate.
+	Rate units.Rate `json:"rate"`
+	// Prop is the link's one-way propagation delay.
+	Prop units.Duration `json:"prop"`
+}
+
+// Route is one flow's path through a Graph: the edges it traverses in
+// order, and the delay of its uncongested reverse (ACK) path.
+type Route struct {
+	// Links lists edge indices in traversal order. A flow's packets
+	// enter Links[0], exit each edge into the next, and reach the
+	// flow's receiver after the last.
+	Links []int `json:"links"`
+	// Reverse is the reverse-path delay ACKs experience. Zero means
+	// "equal to the forward propagation sum" (symmetric paths, the
+	// common case).
+	Reverse units.Duration `json:"reverse,omitempty"`
+}
+
+// Graph is a declarative multi-hop topology: links are edges, and every
+// flow carries an explicit path. Build compiles the graph once into a
+// netsim.Network whose per-link next-hop tables preserve the simulator's
+// allocation-free per-packet forwarding.
+type Graph struct {
+	// Edges are the graph's unidirectional links.
+	Edges []Edge `json:"edges"`
+	// Routes holds one path per flow, in flow order.
+	Routes []Route `json:"routes"`
+}
+
+// Validate checks the description: at least one edge and one route,
+// positive rates, non-negative delays, and every route a non-empty
+// walk over distinct in-range edges. It returns nil for a buildable
+// graph.
+func (g *Graph) Validate() error {
+	if len(g.Edges) == 0 {
+		return fmt.Errorf("topo: graph has no edges")
+	}
+	if len(g.Routes) == 0 {
+		return fmt.Errorf("topo: graph has no routes")
+	}
+	for i, e := range g.Edges {
+		if e.Rate <= 0 {
+			return fmt.Errorf("topo: edge %d has non-positive rate %v", i, e.Rate)
+		}
+		if e.Prop < 0 {
+			return fmt.Errorf("topo: edge %d has negative propagation delay %v", i, e.Prop)
+		}
+	}
+	for f, rt := range g.Routes {
+		if len(rt.Links) == 0 {
+			return fmt.Errorf("topo: route %d is empty", f)
+		}
+		if rt.Reverse < 0 {
+			return fmt.Errorf("topo: route %d has negative reverse delay %v", f, rt.Reverse)
+		}
+		seen := make(map[int]bool, len(rt.Links))
+		for _, li := range rt.Links {
+			if li < 0 || li >= len(g.Edges) {
+				return fmt.Errorf("topo: route %d references edge %d of %d", f, li, len(g.Edges))
+			}
+			if seen[li] {
+				return fmt.Errorf("topo: route %d visits edge %d twice", f, li)
+			}
+			seen[li] = true
+		}
+	}
+	return nil
+}
+
+// NumFlows reports the number of flows the graph routes.
+func (g *Graph) NumFlows() int { return len(g.Routes) }
+
+// PathProp is flow f's one-way forward propagation delay: the sum of
+// its path's edge delays.
+func (g *Graph) PathProp(f int) units.Duration {
+	var sum units.Duration
+	for _, li := range g.Routes[f].Links {
+		sum += g.Edges[li].Prop
+	}
+	return sum
+}
+
+// ReverseDelay is flow f's reverse-path (ACK) delay: the route's
+// explicit Reverse, or the forward propagation sum when unset.
+func (g *Graph) ReverseDelay(f int) units.Duration {
+	if r := g.Routes[f].Reverse; r != 0 {
+		return r
+	}
+	return g.PathProp(f)
+}
+
+// MinRTT is flow f's minimum possible round-trip time: forward
+// propagation plus the reverse-path delay.
+func (g *Graph) MinRTT(f int) units.Duration {
+	return g.PathProp(f) + g.ReverseDelay(f)
+}
+
+// FlowsOn reports how many routes traverse edge li.
+func (g *Graph) FlowsOn(li int) int {
+	n := 0
+	for _, rt := range g.Routes {
+		for _, l := range rt.Links {
+			if l == li {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// FairShare is flow f's equal split of its path bottleneck: the minimum
+// over the path's edges of the edge rate divided by the number of flows
+// routed over that edge. It is derived from path membership, so it is
+// correct for any graph — including parking lots whose links carry
+// other than two flows each.
+func (g *Graph) FairShare(f int) units.Rate {
+	var best units.Rate
+	for i, li := range g.Routes[f].Links {
+		share := g.Edges[li].Rate / units.Rate(g.FlowsOn(li))
+		if i == 0 || share < best {
+			best = share
+		}
+	}
+	return best
+}
+
+// Build compiles the graph into a runnable network: one netsim.Link per
+// edge (queues[i] gating edge i), one sender/receiver pair per route,
+// and a flat flow-indexed next-hop table on every link so per-packet
+// forwarding stays allocation-free. Per-flow PropDelay, MinRTT, and
+// reverse-path delay are derived from path membership.
+func Build(g *Graph, queues []queue.Discipline, flows []FlowSpec) (*netsim.Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) != len(g.Routes) {
+		return nil, fmt.Errorf("topo: %d flows for %d routes", len(flows), len(g.Routes))
+	}
+	if len(queues) != len(g.Edges) {
+		return nil, fmt.Errorf("topo: %d queues for %d edges", len(queues), len(g.Edges))
+	}
+	for i, q := range queues {
+		if q == nil {
+			return nil, fmt.Errorf("topo: nil queue for edge %d", i)
+		}
+	}
+	for i, fs := range flows {
+		if fs.Alg == nil {
+			return nil, fmt.Errorf("topo: flow %d has nil congestion-control algorithm", i)
+		}
+		if fs.Workload == nil {
+			return nil, fmt.Errorf("topo: flow %d has nil workload", i)
+		}
+	}
+
+	nw := netsim.New()
+	links := make([]*netsim.Link, len(g.Edges))
+	for i, e := range g.Edges {
+		links[i] = netsim.NewLink(nw.Sched, e.Rate, e.Prop, queues[i])
+		nw.AddLink(links[i])
+	}
+	receivers := make([]*netsim.Receiver, len(flows))
+	for f, fs := range flows {
+		prop := g.PathProp(f)
+		st := &netsim.FlowStats{Flow: f, PropDelay: prop, MinRTT: prop + g.ReverseDelay(f)}
+		rcv := netsim.NewReceiver(nw.Sched, f, g.ReverseDelay(f), st)
+		snd := netsim.NewSender(nw.Sched, f, fs.Alg, links[g.Routes[f].Links[0]], st)
+		rcv.SetSender(snd)
+		receivers[f] = rcv
+		nw.AddFlow(&netsim.Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: fs.Workload})
+	}
+	// Compile each flow's path into per-link next-hop delivery chains.
+	for li := range links {
+		next := make([]netsim.Deliverer, len(flows))
+		for f, rt := range g.Routes {
+			for pos, l := range rt.Links {
+				if l != li {
+					continue
+				}
+				if pos+1 < len(rt.Links) {
+					next[f] = links[rt.Links[pos+1]]
+				} else {
+					next[f] = receivers[f]
+				}
+				break
+			}
+		}
+		links[li].SetRoute(next)
+	}
+	return nw, nil
+}

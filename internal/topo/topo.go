@@ -1,10 +1,15 @@
-// Package topo assembles the paper's two topologies into runnable
-// netsim Networks: the dumbbell (single shared bottleneck, used by every
-// experiment except §4.4) and the two-bottleneck "parking lot" of
-// Figure 5.
+// Package topo describes network topologies as declarative graphs —
+// links are edges, each flow carries an explicit multi-hop path — and
+// compiles them into runnable netsim Networks. The paper's two shapes
+// (the dumbbell used by every experiment except §4.4, and Figure 5's
+// two-bottleneck "parking lot") are thin constructors over the graph
+// engine, alongside an N-hop parking-lot family with optional
+// cross-traffic that opens the scenario space beyond the paper.
 package topo
 
 import (
+	"fmt"
+
 	"learnability/internal/cc"
 	"learnability/internal/netsim"
 	"learnability/internal/queue"
@@ -15,36 +20,64 @@ import (
 // FlowSpec describes one sender-receiver pair: its congestion-control
 // algorithm and its workload.
 type FlowSpec struct {
-	Alg      cc.Algorithm
+	// Alg is the flow's congestion controller.
+	Alg cc.Algorithm
+	// Workload is the on/off process driving the flow's sender.
 	Workload workload.Source
+}
+
+// DumbbellGraph describes a dumbbell: one shared bottleneck link
+// crossed by nflows flows. The one-way propagation delay is minRTT/2
+// and the reverse path carries the remainder, so each flow's minimum
+// RTT is exactly minRTT even when minRTT is an odd number of
+// nanoseconds.
+func DumbbellGraph(rate units.Rate, minRTT units.Duration, nflows int) *Graph {
+	prop := minRTT / 2
+	g := &Graph{Edges: []Edge{{Rate: rate, Prop: prop}}}
+	for i := 0; i < nflows; i++ {
+		g.Routes = append(g.Routes, Route{Links: []int{0}, Reverse: minRTT - prop})
+	}
+	return g
+}
+
+// ParkingLotGraph describes an N-hop parking lot: len(rates) links in
+// series, each with one-way propagation hopProp; nLong flows cross
+// every hop, and, when cross is set, one additional single-hop flow
+// rides each link (the cross traffic). Flow order is the nLong long
+// flows first, then the cross flows in link order — for two hops, one
+// long flow, and cross traffic this is exactly the paper's Figure 5
+// topology and flow numbering.
+func ParkingLotGraph(rates []units.Rate, hopProp units.Duration, nLong int, cross bool) *Graph {
+	g := &Graph{}
+	all := make([]int, len(rates))
+	for i, r := range rates {
+		g.Edges = append(g.Edges, Edge{Rate: r, Prop: hopProp})
+		all[i] = i
+	}
+	for i := 0; i < nLong; i++ {
+		g.Routes = append(g.Routes, Route{Links: all})
+	}
+	if cross {
+		for i := range rates {
+			g.Routes = append(g.Routes, Route{Links: []int{i}})
+		}
+	}
+	return g
 }
 
 // Dumbbell builds a network of len(flows) senders sharing one
 // bottleneck link of the given rate, with q as the gateway discipline.
 // The one-way propagation delay is minRTT/2 in each direction, so the
 // minimum RTT matches the paper's scenario tables.
-func Dumbbell(rate units.Rate, minRTT units.Duration, q queue.Discipline, flows []FlowSpec) *netsim.Network {
+func Dumbbell(rate units.Rate, minRTT units.Duration, q queue.Discipline, flows []FlowSpec) (*netsim.Network, error) {
 	if len(flows) == 0 {
-		panic("topo: dumbbell with no flows")
+		return nil, fmt.Errorf("topo: dumbbell with no flows")
 	}
 	if minRTT <= 0 {
-		panic("topo: dumbbell with non-positive minRTT")
+		return nil, fmt.Errorf("topo: dumbbell with non-positive minRTT %v", minRTT)
 	}
-	nw := netsim.New()
-	prop := units.Duration(minRTT / 2)
-	link := netsim.NewLink(nw.Sched, rate, prop, q)
-	nw.AddLink(link)
-	receivers := make([]*netsim.Receiver, len(flows))
-	for i, fs := range flows {
-		st := &netsim.FlowStats{Flow: i, PropDelay: prop, MinRTT: minRTT}
-		rcv := netsim.NewReceiver(nw.Sched, i, units.Duration(minRTT)-prop, st)
-		snd := netsim.NewSender(nw.Sched, i, fs.Alg, link, st)
-		rcv.SetSender(snd)
-		receivers[i] = rcv
-		nw.AddFlow(&netsim.Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: fs.Workload})
-	}
-	link.SetRoute(func(flow int) netsim.Deliverer { return receivers[flow] })
-	return nw
+	queues := []queue.Discipline{q}
+	return Build(DumbbellGraph(rate, minRTT, len(flows)), queues, flows)
 }
 
 // ParkingLot builds the paper's Figure 5 topology: nodes A--B--C with
@@ -53,41 +86,16 @@ func Dumbbell(rate units.Rate, minRTT units.Duration, q queue.Discipline, flows 
 // Link 1 (A to B), and flow 2 crosses only Link 2 (B to C). flows must
 // therefore have exactly three entries, in that order.
 func ParkingLot(rate1, rate2 units.Rate, hopProp units.Duration,
-	q1, q2 queue.Discipline, flows []FlowSpec) *netsim.Network {
+	q1, q2 queue.Discipline, flows []FlowSpec) (*netsim.Network, error) {
 
 	if len(flows) != 3 {
-		panic("topo: parking lot needs exactly 3 flows")
+		return nil, fmt.Errorf("topo: parking lot needs exactly 3 flows, got %d", len(flows))
 	}
 	if hopProp <= 0 {
-		panic("topo: parking lot with non-positive hop propagation")
+		return nil, fmt.Errorf("topo: parking lot with non-positive hop propagation %v", hopProp)
 	}
-	nw := netsim.New()
-	l1 := netsim.NewLink(nw.Sched, rate1, hopProp, q1)
-	l2 := netsim.NewLink(nw.Sched, rate2, hopProp, q2)
-	nw.AddLink(l1)
-	nw.AddLink(l2)
-
-	// One-way path propagation per flow.
-	props := []units.Duration{2 * hopProp, hopProp, hopProp}
-	ingress := []netsim.Deliverer{l1, l1, l2}
-
-	receivers := make([]*netsim.Receiver, 3)
-	for i, fs := range flows {
-		st := &netsim.FlowStats{Flow: i, PropDelay: props[i], MinRTT: 2 * props[i]}
-		rcv := netsim.NewReceiver(nw.Sched, i, props[i], st)
-		snd := netsim.NewSender(nw.Sched, i, fs.Alg, ingress[i], st)
-		rcv.SetSender(snd)
-		receivers[i] = rcv
-		nw.AddFlow(&netsim.Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: fs.Workload})
-	}
-	l1.SetRoute(func(flow int) netsim.Deliverer {
-		if flow == 0 {
-			return l2 // continues across the second hop
-		}
-		return receivers[1]
-	})
-	l2.SetRoute(func(flow int) netsim.Deliverer { return receivers[flow] })
-	return nw
+	g := ParkingLotGraph([]units.Rate{rate1, rate2}, hopProp, 1, true)
+	return Build(g, []queue.Discipline{q1, q2}, flows)
 }
 
 // QueueSpec is a declarative gateway-queue description used by the

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"learnability/internal/cc"
+	"learnability/internal/netsim"
 	"learnability/internal/queue"
 	"learnability/internal/units"
 	"learnability/internal/workload"
@@ -28,8 +29,18 @@ func specs(n int, w float64) []FlowSpec {
 	return out
 }
 
+func mustBuild(t *testing.T) func(*netsim.Network, error) *netsim.Network {
+	return func(nw *netsim.Network, err error) *netsim.Network {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return nw
+	}
+}
+
 func TestDumbbellMinRTT(t *testing.T) {
-	nw := Dumbbell(100*units.Mbps, 150*units.Millisecond, queue.NewInfinite(), specs(1, 1))
+	nw := mustBuild(t)(Dumbbell(100*units.Mbps, 150*units.Millisecond, queue.NewInfinite(), specs(1, 1)))
 	sts := nw.Run(5 * units.Second)
 	// Window 1: delay is one-way propagation (75 ms) plus negligible
 	// serialization.
@@ -46,7 +57,7 @@ func TestDumbbellSharesBottleneck(t *testing.T) {
 	// without the giant synchronized bursts that would trick the RTO
 	// (four flows dumping 400 packets at t=0 serializes the FIFO into
 	// per-flow blocks and starves each flow of ACKs for seconds).
-	nw := Dumbbell(10*units.Mbps, 100*units.Millisecond, queue.NewInfinite(), specs(4, 100))
+	nw := mustBuild(t)(Dumbbell(10*units.Mbps, 100*units.Millisecond, queue.NewInfinite(), specs(4, 100)))
 	sts := nw.Run(20 * units.Second)
 	total := 0.0
 	for _, st := range sts {
@@ -58,24 +69,27 @@ func TestDumbbellSharesBottleneck(t *testing.T) {
 }
 
 func TestDumbbellValidation(t *testing.T) {
-	for _, fn := range []func(){
-		func() { Dumbbell(units.Mbps, units.Millisecond, queue.NewInfinite(), nil) },
-		func() { Dumbbell(units.Mbps, 0, queue.NewInfinite(), specs(1, 1)) },
+	for name, fn := range map[string]func() (*netsim.Network, error){
+		"no flows": func() (*netsim.Network, error) {
+			return Dumbbell(units.Mbps, units.Millisecond, queue.NewInfinite(), nil)
+		},
+		"zero minRTT": func() (*netsim.Network, error) { return Dumbbell(units.Mbps, 0, queue.NewInfinite(), specs(1, 1)) },
+		"nil alg": func() (*netsim.Network, error) {
+			return Dumbbell(units.Mbps, units.Millisecond, queue.NewInfinite(), []FlowSpec{{Workload: workload.AlwaysOn{}}})
+		},
+		"nil workload": func() (*netsim.Network, error) {
+			return Dumbbell(units.Mbps, units.Millisecond, queue.NewInfinite(), []FlowSpec{{Alg: &fixedCC{w: 1}}})
+		},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := fn(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }
 
 func TestParkingLotRoutes(t *testing.T) {
 	q1, q2 := queue.NewInfinite(), queue.NewInfinite()
-	nw := ParkingLot(10*units.Mbps, 10*units.Mbps, 75*units.Millisecond, q1, q2, specs(3, 2))
+	nw := mustBuild(t)(ParkingLot(10*units.Mbps, 10*units.Mbps, 75*units.Millisecond, q1, q2, specs(3, 2)))
 	sts := nw.Run(10 * units.Second)
 	// Flow 0 crosses both hops: one-way prop 150 ms; flows 1 and 2 one
 	// hop: 75 ms.
@@ -103,7 +117,7 @@ func TestParkingLotBottleneckContention(t *testing.T) {
 	// both. With equal links and FIFO service, flow 0 gets less than
 	// the single-hop flows (it pays at both bottlenecks).
 	q1, q2 := queue.NewDropTail(50*1500), queue.NewDropTail(50*1500)
-	nw := ParkingLot(10*units.Mbps, 10*units.Mbps, 75*units.Millisecond, q1, q2, specs(3, 100))
+	nw := mustBuild(t)(ParkingLot(10*units.Mbps, 10*units.Mbps, 75*units.Millisecond, q1, q2, specs(3, 100)))
 	sts := nw.Run(30 * units.Second)
 	t0 := float64(sts[0].Throughput())
 	t1 := float64(sts[1].Throughput())
@@ -120,18 +134,17 @@ func TestParkingLotBottleneckContention(t *testing.T) {
 
 func TestParkingLotValidation(t *testing.T) {
 	q := queue.NewInfinite()
-	for _, fn := range []func(){
-		func() { ParkingLot(units.Mbps, units.Mbps, 75*units.Millisecond, q, q, specs(2, 1)) },
-		func() { ParkingLot(units.Mbps, units.Mbps, 0, q, q, specs(3, 1)) },
+	for name, fn := range map[string]func() (*netsim.Network, error){
+		"two flows": func() (*netsim.Network, error) {
+			return ParkingLot(units.Mbps, units.Mbps, 75*units.Millisecond, q, q, specs(2, 1))
+		},
+		"zero hop prop": func() (*netsim.Network, error) {
+			return ParkingLot(units.Mbps, units.Mbps, 0, q, q, specs(3, 1))
+		},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := fn(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }
 

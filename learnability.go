@@ -40,6 +40,7 @@ import (
 	"learnability/internal/remy"
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
+	"learnability/internal/topo"
 	"learnability/internal/units"
 )
 
@@ -135,24 +136,51 @@ type (
 	SpecSender = scenario.Sender
 	// Result is one flow's outcome.
 	Result = scenario.Result
-	// Topology selects the network shape.
+	// Topology is a declarative network-shape description.
 	Topology = scenario.Topology
 	// Buffering selects the gateway queue.
 	Buffering = scenario.Buffering
+	// TopoGraph is an explicit link/path topology graph: links are
+	// edges, every flow carries a multi-hop path.
+	TopoGraph = topo.Graph
+	// TopoEdge is one unidirectional link of a TopoGraph.
+	TopoEdge = topo.Edge
+	// TopoRoute is one flow's path through a TopoGraph.
+	TopoRoute = topo.Route
 )
 
-// Topologies and gateway queues.
-const (
-	DumbbellTopology   = scenario.Dumbbell
+// The paper's two topologies.
+var (
+	// DumbbellTopology is a single shared bottleneck.
+	DumbbellTopology = scenario.Dumbbell
+	// ParkingLotTopology is the paper's Figure 5 two-bottleneck shape
+	// (three senders; flow 0 crosses both links).
 	ParkingLotTopology = scenario.ParkingLot
+)
 
+// Gateway queues.
+const (
 	FiniteDropTail = scenario.FiniteDropTail
 	NoDrop         = scenario.NoDrop
 	SfqCoDel       = scenario.SfqCoDel
 )
 
-// RunScenario executes a scenario and returns per-flow results.
-func RunScenario(spec Spec) []Result { return scenario.Run(spec) }
+// ParkingLotN describes an N-hop parking lot: hops bottleneck links in
+// series, one flow crossing all of them and — when cross is set — one
+// single-hop cross-traffic flow per link.
+func ParkingLotN(hops int, cross bool) Topology { return scenario.ParkingLotN(hops, cross) }
+
+// GraphTopology wraps an explicit link/path graph description.
+func GraphTopology(g *TopoGraph) Topology { return scenario.GraphTopology(g) }
+
+// RunScenario executes a scenario and returns per-flow results. It
+// returns an error for an invalid spec (bad topology, sender-count
+// mismatch, missing seed, ...).
+func RunScenario(spec Spec) ([]Result, error) { return scenario.Run(spec) }
+
+// MustRunScenario is RunScenario for specs known to be valid; it
+// panics on a spec error.
+func MustRunScenario(spec Spec) []Result { return scenario.MustRun(spec) }
 
 // NewSeed returns a deterministic random stream for Spec.Seed.
 func NewSeed(seed uint64) *rng.Stream { return rng.New(seed) }

@@ -48,7 +48,10 @@ func TestFacadeScenarioRun(t *testing.T) {
 			{Alg: learnability.NewNewReno(), Delta: 1},
 		},
 	}
-	results := learnability.RunScenario(spec)
+	results, err := learnability.RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 2 {
 		t.Fatalf("got %d results", len(results))
 	}
@@ -125,7 +128,10 @@ func TestFacadeTraining(t *testing.T) {
 			{Alg: learnability.NewRemyCC(tree), Delta: 1},
 		},
 	}
-	results := learnability.RunScenario(spec)
+	results, err := learnability.RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if float64(results[0].Throughput)+float64(results[1].Throughput) <= 0 {
 		t.Fatal("trained Tao moved no traffic")
 	}

@@ -53,6 +53,9 @@ go test -run '^$' \
   ./internal/sim/ ./internal/netsim/ ./internal/cc/remycc/ | tee "$RAW"
 
 echo "== scenario + trainer benchmarks =="
+# BenchmarkScenarioRun matches both the dumbbell fast path and
+# BenchmarkScenarioRunParkingLot (the multi-hop forwarding-chain path),
+# so the regression gate guards the graph engine on both shapes.
 go test -run '^$' -bench 'BenchmarkScenarioRun|BenchmarkTrainer' \
   -benchmem -benchtime "$SCENARIO_BENCHTIME" -count "$BENCH_COUNT" . | tee -a "$RAW"
 

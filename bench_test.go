@@ -13,6 +13,7 @@ package learnability_test
 
 import (
 	"fmt"
+	"net"
 	"testing"
 
 	"learnability"
@@ -226,6 +227,68 @@ func BenchmarkTrainerSharded(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTrainerShardedTCP measures distributed training over the
+// shardnet fabric on loopback: the same tiny search as
+// BenchmarkTrainerSharded, with every evaluation crossing a real TCP
+// connection to in-process worker servers (handshake, frames,
+// heartbeats). "cold" serves every job fresh on two workers; "warm"
+// re-trains the same seed against a worker whose content-addressed
+// result cache is pre-filled by an untimed run, so it measures the
+// fabric's floor — cache lookups plus wire round-trips, no
+// simulation. The gap between the two is the evaluation work the
+// cache elides.
+func BenchmarkTrainerShardedTCP(b *testing.B) {
+	cfg := learnability.TrainConfig{
+		Topology:     learnability.DumbbellTopology,
+		LinkSpeedMin: 10 * learnability.Mbps,
+		LinkSpeedMax: 100 * learnability.Mbps,
+		MinRTTMin:    150 * learnability.Millisecond,
+		MinRTTMax:    150 * learnability.Millisecond,
+		SendersMin:   2,
+		SendersMax:   2,
+		MeanOn:       learnability.Second,
+		MeanOff:      learnability.Second,
+		Buffering:    learnability.FiniteDropTail,
+		BufferBDP:    5,
+		Delta:        1,
+		Duration:     5 * learnability.Second,
+		Replicas:     4,
+	}
+	budget := learnability.TrainBudget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2}
+	startWorker := func(b *testing.B, cache int) string {
+		b.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatalf("listen: %v", err)
+		}
+		b.Cleanup(func() { ln.Close() })
+		srv := learnability.NewShardServer(cache)
+		go srv.Serve(ln)
+		return ln.Addr().String()
+	}
+	train := func(b *testing.B, seed uint64, remotes []string) {
+		tr := &learnability.Trainer{Cfg: cfg, Seed: seed, Remotes: remotes}
+		if tree := tr.Train(budget); tree.Len() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		remotes := []string{startWorker(b, -1), startWorker(b, -1)} // no cache
+		for i := 0; i < b.N; i++ {
+			train(b, uint64(i), remotes)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		remotes := []string{startWorker(b, 0)}
+		train(b, 1, remotes) // untimed: fill the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			train(b, 1, remotes)
+		}
+	})
 }
 
 // BenchmarkScenarioRun measures raw simulation throughput: one 30-s

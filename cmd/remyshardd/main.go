@@ -1,0 +1,90 @@
+// Command remyshardd is the distributed-training worker daemon: it
+// listens on a TCP port, serves shard jobs to any number of
+// coordinator connections (many jobs per connection), and hosts a
+// content-addressed result cache so repeated candidate evaluations —
+// common across a training run's hill-climb, and across reruns of the
+// same seed — are answered from memory. Run one per machine:
+//
+//	remyshardd -listen :7117            # on each worker machine
+//	remytrain -remotes w1:7117,w2:7117  # on the coordinator
+//
+// Jobs are self-contained and evaluation is a pure function of the
+// job, so a daemon holds no training state: it can be restarted at any
+// time (the coordinator reconnects and requeues), serve several
+// trainings at once, and return cached results verbatim without any
+// effect on the trained bits. Setting REMY_SHARD_DIE_AFTER=N makes
+// every connection drop after N jobs — the same chaos knob cmd/
+// remyshard exposes, for exercising the coordinator's requeue path
+// against a real network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"learnability/internal/remy"
+	"learnability/internal/remy/shardnet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7117", "TCP address to serve shard jobs on")
+		workers = flag.Int("workers", 0, "parallel simulations per job (0 = NumCPU)")
+		cacheN  = flag.Int("cache", shardnet.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative disables)")
+		hb      = flag.Duration("hb", shardnet.DefaultHeartbeat, "heartbeat interval while a job evaluates")
+		verbose = flag.Bool("v", true, "log connections and cache stats")
+	)
+	flag.Parse()
+
+	srv := &shardnet.Server{
+		Eval:      remy.EvalShardJob,
+		Heartbeat: *hb,
+		Workers:   *workers,
+	}
+	if srv.Workers <= 0 {
+		srv.Workers = runtime.NumCPU()
+	}
+	if *cacheN >= 0 {
+		srv.Cache = shardnet.NewCache(*cacheN)
+	}
+	if s := os.Getenv("REMY_SHARD_DIE_AFTER"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "remyshardd: bad REMY_SHARD_DIE_AFTER %q\n", s)
+			os.Exit(2)
+		}
+		srv.DieAfter = n
+	}
+	if *verbose {
+		srv.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+		go func() {
+			for range time.Tick(time.Minute) {
+				st := srv.Stats()
+				if srv.Cache != nil {
+					cs := srv.Cache.Stats()
+					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served, cache %d hits / %d misses / %d entries\n",
+						st.Jobs, cs.Hits, cs.Misses, cs.Entries)
+				} else {
+					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served (cache disabled)\n", st.Jobs)
+				}
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remyshardd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "remyshardd: serving shard jobs on %s (%d workers/job, cache %v)\n",
+		ln.Addr(), srv.Workers, srv.Cache != nil)
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "remyshardd:", err)
+		os.Exit(1)
+	}
+}

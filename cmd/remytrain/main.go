@@ -6,6 +6,11 @@
 //
 //	remytrain -speed-min 10 -speed-max 100 -rtt 150 -senders 2 \
 //	          -buffer-bdp 5 -generations 4 -o tao10x.json
+//
+// Training distributes across processes (-shards N -shard-cmd
+// remyshard) and machines (-remotes host:port,... pointing at
+// remyshardd daemons); output is byte-identical to the in-process
+// search either way (docs/EXPERIMENTS.md, "Multi-machine training").
 package main
 
 import (
@@ -48,7 +53,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "shard each generation across N workers (1 = in-process); output is bit-identical for any N")
 		shardCmd   = flag.String("shard-cmd", "", "worker command for -shards (e.g. 'remyshard'); empty runs shard jobs in-process")
 		shardWkrs  = flag.Int("shard-workers", 0, "parallel simulations per shard (0 = NumCPU/shards)")
-		shardTmo   = flag.Duration("shard-timeout", 0, "kill and requeue a shard job after this long (e.g. 10m); 0 waits forever — set it to survive hung (not just crashed) workers")
+		shardTmo   = flag.Duration("shard-timeout", 0, "kill and requeue a shard job after this long (e.g. 10m); 0 waits forever — set it to survive hung (not just crashed) workers. On -remotes lanes this bounds silence between frames (heartbeats reset it), not job length")
+		remotes    = flag.String("remotes", "", "comma-separated remyshardd worker addresses (host:port,...); each is one TCP shard lane. Remote-only unless -shards 2+ adds local lanes. Output stays byte-identical to in-process training")
 		out        = flag.String("o", "tao.json", "output file for the whisker tree")
 		verbose    = flag.Bool("v", true, "stream search progress")
 	)
@@ -128,6 +134,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	var remoteAddrs []string
+	if *remotes != "" {
+		for _, addr := range strings.Split(*remotes, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				remoteAddrs = append(remoteAddrs, addr)
+			}
+		}
+	}
+
 	tr := &remy.Trainer{
 		Cfg:          cfg,
 		Seed:         *seed,
@@ -136,6 +151,7 @@ func main() {
 		ShardCmd:     strings.Fields(*shardCmd),
 		ShardWorkers: *shardWkrs,
 		ShardTimeout: *shardTmo,
+		Remotes:      remoteAddrs,
 	}
 	if *verbose {
 		tr.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
@@ -152,4 +168,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("trained %d whiskers -> %s\n", tree.Len(), *out)
+	if len(remoteAddrs) > 0 {
+		hits, total := tr.ShardCacheStats()
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(hits) / float64(total)
+		}
+		fmt.Printf("shard cache: %d/%d results from worker caches (%.1f%% hit rate)\n", hits, total, pct)
+	}
 }

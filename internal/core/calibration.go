@@ -62,7 +62,7 @@ func calibrationTaoSpec() TaoSpec {
 // CalibrationRow is one protocol's Figure 1 point: median throughput
 // and queueing delay with 1-sigma spreads.
 type CalibrationRow struct {
-	Protocol string
+	Protocol string // protocol name
 	stats.Summary
 	// MeanObjective is the §3.2 objective averaged over flows and
 	// replicas (using total delay, as in training).
@@ -71,7 +71,7 @@ type CalibrationRow struct {
 
 // CalibrationResult is the Figure 1 dataset.
 type CalibrationResult struct {
-	Rows []CalibrationRow
+	Rows []CalibrationRow // one row per protocol
 }
 
 // RunCalibration trains the calibration Tao and evaluates all four

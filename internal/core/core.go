@@ -77,7 +77,7 @@ func QuickEffort() Effort {
 // discipline it is tested over (Cubic-over-sfqCoDel is Cubic at the
 // endpoints plus sfqCoDel at the gateway).
 type Protocol struct {
-	Name string
+	Name string // display name for tables
 	// New returns a fresh per-connection controller.
 	New func() cc.Algorithm
 	// Gateway overrides the scenario's buffering when not nil (used
@@ -118,9 +118,9 @@ func taoProtocol(name string, tree *remycc.Tree, mask remycc.SignalMask) Protoco
 // TaoSpec names a Tao protocol and the training configuration that
 // produces it. Trees are trained once per process and cached.
 type TaoSpec struct {
-	Name string
-	Cfg  remy.Config
-	Seed uint64
+	Name string      // cache key and display name
+	Cfg  remy.Config // training distribution and objective
+	Seed uint64      // training seed
 }
 
 var (

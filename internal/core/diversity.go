@@ -74,16 +74,16 @@ func trainDiversityPair(e Effort, coopt bool, log func(string, ...any)) (tpt, de
 
 // DiversityRow is one (training, setting, sender) cell of Figure 9.
 type DiversityRow struct {
-	Training string // "naive" or "co-optimized"
-	Setting  string // "alone" or "mixed"
-	Sender   string // "Tpt" or "Del"
-	TptMbps  float64
-	QueueMs  float64
+	Training string  // "naive" or "co-optimized"
+	Setting  string  // "alone" or "mixed"
+	Sender   string  // "Tpt" or "Del"
+	TptMbps  float64 // mean throughput
+	QueueMs  float64 // mean queueing delay
 }
 
 // DiversityResult is the Figure 9 dataset.
 type DiversityResult struct {
-	Rows []DiversityRow
+	Rows []DiversityRow // one row per (training, setting, sender)
 }
 
 // RunDiversity trains both pairs and evaluates the Table 7b settings.

@@ -17,16 +17,16 @@ import (
 
 // KnockoutRow is one protocol's outcome.
 type KnockoutRow struct {
-	Name          string
-	Removed       string // "" for the all-signals protocol
-	MeanObjective float64
-	TptMbps       float64
-	DelayMs       float64
+	Name          string  // protocol name
+	Removed       string  // "" for the all-signals protocol
+	MeanObjective float64 // §3.2 objective, averaged over replicas
+	TptMbps       float64 // mean throughput
+	DelayMs       float64 // mean total delay
 }
 
 // KnockoutResult is the §3.4 dataset.
 type KnockoutResult struct {
-	Rows []KnockoutRow
+	Rows []KnockoutRow // all-signals first, then one per removed signal
 }
 
 // RunKnockout trains the five protocols and evaluates them.

@@ -51,7 +51,7 @@ func linkSpeedTaoSpec(name string, lo, hi units.Rate) TaoSpec {
 
 // LinkSpeedSeries is one protocol's Figure 2 curve.
 type LinkSpeedSeries struct {
-	Protocol string
+	Protocol string // protocol name
 	// TrainedRange is empty for baselines.
 	TrainedMin, TrainedMax units.Rate
 	// Objective[i] is the normalized objective at SpeedsMbps[i].
@@ -60,8 +60,8 @@ type LinkSpeedSeries struct {
 
 // LinkSpeedResult is the Figure 2 dataset.
 type LinkSpeedResult struct {
-	SpeedsMbps []float64
-	Series     []LinkSpeedSeries
+	SpeedsMbps []float64         // swept link speeds
+	Series     []LinkSpeedSeries // one curve per protocol
 }
 
 // RunLinkSpeed trains the four Taos and sweeps the testing link speed

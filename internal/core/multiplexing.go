@@ -43,14 +43,14 @@ func multiplexingTaoSpec(maxSenders int) TaoSpec {
 
 // MultiplexingSeries is one protocol's curve in one panel of Figure 3.
 type MultiplexingSeries struct {
-	Protocol  string
+	Protocol  string    // protocol name
 	Objective []float64 // indexed like MultiplexingResult.Senders
 }
 
 // MultiplexingResult is the Figure 3 dataset: one panel per buffer
 // configuration.
 type MultiplexingResult struct {
-	Senders []int
+	Senders []int // swept sender counts
 	// Panels maps buffer label ("5bdp", "nodrop") to series.
 	Panels map[string][]MultiplexingSeries
 }

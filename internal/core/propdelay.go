@@ -50,14 +50,14 @@ func propDelayTaoSpec(name string, lo, hi units.Duration) TaoSpec {
 
 // PropDelaySeries is one protocol's Figure 4 curve.
 type PropDelaySeries struct {
-	Protocol  string
-	Objective []float64
+	Protocol  string    // protocol name
+	Objective []float64 // indexed like PropDelayResult.RTTsMs
 }
 
 // PropDelayResult is the Figure 4 dataset.
 type PropDelayResult struct {
-	RTTsMs []float64
-	Series []PropDelaySeries
+	RTTsMs []float64         // swept minimum RTTs
+	Series []PropDelaySeries // one curve per protocol
 }
 
 // RunPropDelay trains the four Taos and sweeps the testing minimum

@@ -71,7 +71,7 @@ func structureTwoBottleneckSpec() TaoSpec {
 // StructureSeries is one protocol's Figure 6 curve: Flow 1 throughput
 // as the swept link's speed varies.
 type StructureSeries struct {
-	Protocol string
+	Protocol string // protocol name
 	// EqualTptMbps[i]: both links at SpeedsMbps[i].
 	EqualTptMbps []float64
 	// Fast100TptMbps[i]: slower link at SpeedsMbps[i], faster at 100.
@@ -80,8 +80,8 @@ type StructureSeries struct {
 
 // StructureResult is the Figure 6 dataset.
 type StructureResult struct {
-	SpeedsMbps []float64
-	Series     []StructureSeries
+	SpeedsMbps []float64         // swept link speeds
+	Series     []StructureSeries // one curve per protocol
 }
 
 // RunStructure trains both Taos and sweeps the parking-lot link

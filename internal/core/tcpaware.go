@@ -57,7 +57,7 @@ type TCPAwareRow struct {
 
 // TCPAwareResult is the Figure 7 dataset.
 type TCPAwareResult struct {
-	Rows []TCPAwareRow
+	Rows []TCPAwareRow // one row per (setting, protocol)
 }
 
 // RunTCPAware trains both Taos and evaluates the Table 6b settings.

@@ -20,7 +20,7 @@ import (
 
 // TimeDomainTrace is one protocol's panel of Figure 8.
 type TimeDomainTrace struct {
-	Protocol   string
+	Protocol   string    // protocol name
 	SampleSec  []float64 // sample times
 	QueuePkts  []int     // queue occupancy in packets
 	DropSec    []float64 // drop instants
@@ -29,7 +29,7 @@ type TimeDomainTrace struct {
 
 // TimeDomainResult holds both Figure 8 panels.
 type TimeDomainResult struct {
-	Traces []TimeDomainTrace
+	Traces []TimeDomainTrace // one panel per protocol
 }
 
 // RunTimeDomain produces the queue-occupancy traces for both Taos.

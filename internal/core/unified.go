@@ -59,16 +59,16 @@ func unifiedTaoSpec() TaoSpec {
 
 // UnifiedRow is one random testing draw.
 type UnifiedRow struct {
-	SpeedMbps float64
-	RTTMs     float64
-	Senders   int
+	SpeedMbps float64 // drawn link speed
+	RTTMs     float64 // drawn minimum RTT
+	Senders   int     // drawn sender count
 	// Normalized objective per protocol (omniscient = 0).
 	TaoObj, CubicObj, SfqObj float64
 }
 
 // UnifiedResult is the extension experiment's dataset.
 type UnifiedResult struct {
-	Rows []UnifiedRow
+	Rows []UnifiedRow // one row per testing draw
 }
 
 // RunUnified trains the unified Tao and evaluates random draws. The

@@ -20,15 +20,15 @@ import (
 
 // VegasRow is one sender's outcome in one setting.
 type VegasRow struct {
-	Setting  string // "homogeneous" or "vs-NewReno"
-	Protocol string
-	TptMbps  float64
-	QueueMs  float64
+	Setting  string  // "homogeneous" or "vs-NewReno"
+	Protocol string  // protocol name
+	TptMbps  float64 // mean throughput
+	QueueMs  float64 // mean queueing delay
 }
 
 // VegasResult is the squeeze-out dataset.
 type VegasResult struct {
-	Rows []VegasRow
+	Rows []VegasRow // one row per (setting, sender)
 }
 
 // RunVegasSqueeze evaluates Vegas against itself and against NewReno

@@ -12,9 +12,9 @@ import (
 
 // Series is one named curve.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    // legend label
+	X    []float64 // abscissae, one per point
+	Y    []float64 // ordinates, parallel to X
 }
 
 // glyphs mark successive series' points.

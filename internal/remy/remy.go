@@ -330,8 +330,19 @@ type Trainer struct {
 	// NumCPU evenly across shards.
 	ShardWorkers int
 	// ShardTimeout bounds one shard job round-trip; an expired job's
-	// worker is killed and the job requeued. 0 means no limit.
+	// worker is killed and the job requeued. 0 means no limit. On
+	// remote (shardnet) lanes it bounds the silence between frames —
+	// worker heartbeats reset it — so it detects dead workers without
+	// capping job length.
 	ShardTimeout time.Duration
+	// Remotes adds one TCP worker lane per "host:port" address (a
+	// cmd/remyshardd daemon). With Remotes set the pool is remote-only
+	// unless local lanes are explicitly requested with Shards >= 2, in
+	// which case the two kinds mix. Training
+	// output stays bit-identical to the in-process trainer; worker-side
+	// result caches change only where results come from, never their
+	// bytes.
+	Remotes []string
 
 	// jobs feeds the worker pool while Train is running. When nil
 	// (evaluate called outside Train, as some tests do), work runs
@@ -353,6 +364,18 @@ type Trainer struct {
 	// shardJobID numbers jobs so results can be matched to requests
 	// across the wire.
 	shardJobID uint64
+	// shardResults and shardCacheHits tally shard results merged and
+	// how many of them were served from worker-side caches (Train
+	// goroutine only; read via ShardCacheStats after Train).
+	shardResults, shardCacheHits uint64
+}
+
+// ShardCacheStats reports, after a sharded Train, how many shard
+// results were merged and how many of those were served verbatim from
+// worker-side result caches (shardnet workers only; local lanes never
+// report cache hits). cmd/remytrain surfaces the hit rate.
+func (t *Trainer) ShardCacheStats() (hits, total uint64) {
+	return t.shardCacheHits, t.shardResults
 }
 
 // Budget bounds the search effort.
@@ -569,7 +592,7 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 	b = b.normalize()
 	stop := t.startPool()
 	defer stop()
-	if t.Shards > 1 || len(t.ShardCmd) > 0 {
+	if t.Shards > 1 || len(t.ShardCmd) > 0 || len(t.Remotes) > 0 {
 		stopShards := t.startShards(cfg)
 		defer stopShards()
 	}

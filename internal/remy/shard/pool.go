@@ -11,72 +11,48 @@ import (
 	"time"
 )
 
-// Pool fans shard jobs out over a fixed set of worker lanes and merges
-// results by batch position, so the caller sees deterministic output
-// regardless of which lane finished which job when. Each lane is
-// either a worker process (Cmd set) or an in-process fallback call
-// (Cmd empty — the local mode cmd/remytrain uses when no -shard-cmd is
-// given). A lane whose process crashes, writes garbage, or exceeds
-// Timeout is restarted and its job requeued for any other lane; after
-// MaxAttempts process deliveries the job is evaluated in-process, so a
-// batch always completes with the same bits.
-type Pool struct {
-	// Lanes is the number of concurrent workers (the shard count).
-	Lanes int
-	// Cmd is the worker argv (e.g. {"remyshard"}). Empty means every
-	// lane evaluates in-process via Fallback.
-	Cmd []string
-	// Fallback evaluates a job in-process: the local mode's evaluator
-	// and the requeue path of last resort. Required.
-	Fallback Eval
-	// Timeout bounds one job round-trip on a process lane; 0 means no
-	// limit. An expired job's process is killed and the job requeued.
-	Timeout time.Duration
-	// MaxAttempts is the number of process deliveries per job before
-	// the pool falls back to in-process evaluation (default 3).
-	MaxAttempts int
-
-	procs []*workerProc // one per lane in process mode; nil entries after spawn failure
+// Transport establishes worker connections for one pool lane. The
+// built-in ProcTransport spawns local worker processes speaking the
+// frame protocol on stdin/stdout; internal/remy/shardnet provides a TCP
+// transport for workers on other machines. Dial is called at pool
+// startup and again whenever a lane's connection fails (the
+// reconnect-with-requeue path), so a Transport must be safe to dial
+// repeatedly.
+type Transport interface {
+	// Dial establishes one worker connection ready for job round-trips.
+	Dial() (Conn, error)
+	// Name identifies the worker for diagnostics (an argv, an address).
+	Name() string
 }
 
-// workerProc is one live worker process and its pipes.
-type workerProc struct {
-	cmd *exec.Cmd
-	in  io.WriteCloser
-	out *bufio.Reader
+// Conn is one live worker connection. A Conn is used by a single lane
+// goroutine at a time; implementations need not be concurrency-safe
+// beyond surviving Close during a pending RoundTrip.
+type Conn interface {
+	// RoundTrip sends a job and awaits its result. timeout, when
+	// positive, bounds the wait: for process connections it caps the
+	// whole round-trip; for transports with heartbeats (shardnet) it
+	// caps the silence between frames, so long jobs survive as long as
+	// the worker keeps proving liveness. An expired or failed
+	// round-trip leaves the connection unusable — the pool discards it
+	// and redials.
+	RoundTrip(job *Job, timeout time.Duration) (*Result, error)
+	// Close tears the connection down, releasing its resources and
+	// failing any pending RoundTrip.
+	Close()
 }
 
-// Start spawns the worker processes (no-op in local mode). A spawn
-// failure stops the pool and is returned: a bad worker command should
-// fail loudly at startup, not degrade silently.
-func (p *Pool) Start() error {
-	if p.Lanes <= 0 {
-		p.Lanes = 1
-	}
-	if p.MaxAttempts <= 0 {
-		p.MaxAttempts = 3
-	}
-	if p.Fallback == nil {
-		return fmt.Errorf("shard: pool needs a Fallback evaluator")
-	}
-	if len(p.Cmd) == 0 {
-		return nil
-	}
-	p.procs = make([]*workerProc, p.Lanes)
-	for i := range p.procs {
-		proc, err := p.spawn()
-		if err != nil {
-			p.Close()
-			return fmt.Errorf("shard: spawn worker %d: %w", i, err)
-		}
-		p.procs[i] = proc
-	}
-	return nil
+// ProcTransport spawns a local worker process per connection, wired
+// for frame I/O on its stdin/stdout — the `remytrain -shard-cmd`
+// transport.
+type ProcTransport struct {
+	// Argv is the worker command (e.g. {"remyshard"}).
+	Argv []string
 }
 
-// spawn launches one worker process wired for frame I/O.
-func (p *Pool) spawn() (*workerProc, error) {
-	cmd := exec.Command(p.Cmd[0], p.Cmd[1:]...)
+// Dial spawns one worker process.
+func (t *ProcTransport) Dial() (Conn, error) {
+	cmd := exec.Command(t.Argv[0], t.Argv[1:]...)
 	cmd.Stderr = os.Stderr
 	in, err := cmd.StdinPipe()
 	if err != nil {
@@ -89,47 +65,148 @@ func (p *Pool) spawn() (*workerProc, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	return &workerProc{cmd: cmd, in: in, out: bufio.NewReader(out)}, nil
+	return &procConn{cmd: cmd, in: in, out: bufio.NewReader(out)}, nil
 }
 
-// stop kills and reaps one worker process.
-func (w *workerProc) stop() {
-	w.in.Close()
-	w.cmd.Process.Kill()
-	w.cmd.Wait()
+// Name identifies the transport by its command.
+func (t *ProcTransport) Name() string { return t.Argv[0] }
+
+// procConn is one live worker process and its pipes.
+type procConn struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Reader
 }
 
-// Close shuts down every worker process. The pool can be restarted
-// with Start afterwards.
-func (p *Pool) Close() {
-	for i, proc := range p.procs {
-		if proc != nil {
-			proc.stop()
-			p.procs[i] = nil
-		}
-	}
-	p.procs = nil
-}
-
-// roundTrip sends a job to a worker process and reads its result,
-// enforcing the pool timeout by killing the process (which errors the
+// RoundTrip sends a job to the worker process and reads its result,
+// enforcing the timeout by killing the process (which errors the
 // pending read).
-func (p *Pool) roundTrip(proc *workerProc, job *Job) (*Result, error) {
-	if p.Timeout > 0 {
-		timer := time.AfterFunc(p.Timeout, func() { proc.cmd.Process.Kill() })
+func (c *procConn) RoundTrip(job *Job, timeout time.Duration) (*Result, error) {
+	if timeout > 0 {
+		timer := time.AfterFunc(timeout, func() { c.cmd.Process.Kill() })
 		defer timer.Stop()
 	}
-	if err := WriteFrame(proc.in, job); err != nil {
+	if err := WriteFrame(c.in, job); err != nil {
 		return nil, err
 	}
 	res := &Result{}
-	if err := ReadFrame(proc.out, res); err != nil {
+	if err := ReadFrame(c.out, res); err != nil {
 		return nil, err
 	}
-	if res.ID != job.ID {
-		return nil, fmt.Errorf("shard: worker answered job %d with result %d", job.ID, res.ID)
-	}
 	return res, nil
+}
+
+// Close kills and reaps the worker process.
+func (c *procConn) Close() {
+	c.in.Close()
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}
+
+// Pool fans shard jobs out over a fixed set of worker lanes and merges
+// results by batch position, so the caller sees deterministic output
+// regardless of which lane finished which job when. Each lane is one
+// of: a worker process (Cmd set), an in-process fallback call (Cmd
+// empty — the local mode cmd/remytrain uses when no -shard-cmd is
+// given), or a remote worker reached through an entry of Transports
+// (the TCP lanes `remytrain -remotes` adds). A lane whose worker
+// crashes, writes garbage, or exceeds Timeout is reconnected and its
+// job requeued for any other lane; after MaxAttempts worker deliveries
+// the job is evaluated in-process, so a batch always completes with
+// the same bits.
+type Pool struct {
+	// Lanes is the number of local lanes: worker processes when Cmd is
+	// set, in-process fallback lanes otherwise. With Transports present
+	// it may be 0 (remote-only pools); otherwise it defaults to 1.
+	Lanes int
+	// Cmd is the local worker argv (e.g. {"remyshard"}). Empty means
+	// every local lane evaluates in-process via Fallback.
+	Cmd []string
+	// Transports adds one extra lane per entry, each dialing its own
+	// worker (shardnet TCP dialers). Dial failures at Start are fatal;
+	// mid-run failures mark the lane dead after a failed redial.
+	Transports []Transport
+	// Fallback evaluates a job in-process: the local mode's evaluator
+	// and the requeue path of last resort. Required.
+	Fallback Eval
+	// Timeout bounds one job round-trip on a worker lane (for
+	// heartbeat-capable transports: the silence between frames); 0
+	// means no limit. An expired job's connection is torn down and the
+	// job requeued.
+	Timeout time.Duration
+	// MaxAttempts is the number of worker deliveries per job before
+	// the pool falls back to in-process evaluation (default 3).
+	MaxAttempts int
+
+	lanes []*lane // built by Start; nil entries never occur
+}
+
+// lane is one worker slot: its transport (nil for in-process fallback
+// lanes) and its current connection (nil when local or dead).
+type lane struct {
+	transport Transport
+	conn      Conn
+}
+
+// NumLanes reports the pool's total lane count (local + transports) as
+// resolved by Start; callers use it to slice batches into one job per
+// lane.
+func (p *Pool) NumLanes() int { return len(p.lanes) }
+
+// Start establishes every lane's worker connection (a no-op for
+// in-process lanes). A spawn or dial failure stops the pool and is
+// returned: a bad worker command or dead remote should fail loudly at
+// startup, not degrade silently.
+func (p *Pool) Start() error {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Fallback == nil {
+		return fmt.Errorf("shard: pool needs a Fallback evaluator")
+	}
+	local := p.Lanes
+	if local < 1 {
+		if len(p.Transports) > 0 {
+			local = 0 // remote-only pool
+		} else {
+			local = 1
+		}
+	}
+	var localT Transport
+	if len(p.Cmd) > 0 {
+		localT = &ProcTransport{Argv: p.Cmd}
+	}
+	p.lanes = make([]*lane, 0, local+len(p.Transports))
+	for i := 0; i < local; i++ {
+		p.lanes = append(p.lanes, &lane{transport: localT})
+	}
+	for _, t := range p.Transports {
+		p.lanes = append(p.lanes, &lane{transport: t})
+	}
+	for i, l := range p.lanes {
+		if l.transport == nil {
+			continue
+		}
+		conn, err := l.transport.Dial()
+		if err != nil {
+			p.Close()
+			return fmt.Errorf("shard: connect lane %d (%s): %w", i, l.transport.Name(), err)
+		}
+		l.conn = conn
+	}
+	return nil
+}
+
+// Close shuts down every worker connection. The pool can be restarted
+// with Start afterwards.
+func (p *Pool) Close() {
+	for _, l := range p.lanes {
+		if l != nil && l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+		}
+	}
+	p.lanes = nil
 }
 
 // Do evaluates a batch of jobs and returns their results in batch
@@ -174,24 +251,25 @@ func (p *Pool) Do(jobs []*Job) ([]*Result, error) {
 		}
 	}
 
-	lanes := p.Lanes
-	if lanes > len(jobs) {
-		lanes = len(jobs)
-	}
+	// Every lane races for jobs, even when the batch is smaller than
+	// the pool: lanes are heterogeneous now (a prefix cut would
+	// always idle the remote lanes, which Start appends last, keeping
+	// small batches away from worker caches). Surplus lanes just
+	// block until the batch finishes and exit.
 	var wg sync.WaitGroup
-	wg.Add(lanes)
-	for lane := 0; lane < lanes; lane++ {
-		go func(lane int) {
+	wg.Add(len(p.lanes))
+	for _, l := range p.lanes {
+		go func(l *lane) {
 			defer wg.Done()
 			for {
 				select {
 				case <-done:
 					return
 				case job := <-queue:
-					p.runJob(lane, job, deliver, queue)
+					p.runJob(l, job, deliver, queue)
 				}
 			}
-		}(lane)
+		}(l)
 	}
 	<-done
 	wg.Wait()
@@ -203,13 +281,12 @@ func (p *Pool) Do(jobs []*Job) ([]*Result, error) {
 	return results, nil
 }
 
-// runJob executes one job on a lane: in-process when the pool is
-// local or the job has exhausted its process attempts, otherwise a
-// process round-trip with restart-and-requeue on failure. queue has
+// runJob executes one job on a lane: in-process when the lane is local
+// or dead or the job has exhausted its worker attempts, otherwise a
+// worker round-trip with reconnect-and-requeue on failure. queue has
 // capacity for every job in the batch, so requeueing never blocks.
-func (p *Pool) runJob(lane int, job *Job, deliver func(*Job, *Result), queue chan<- *Job) {
-	proc := p.laneProc(lane)
-	if proc == nil || job.attempts >= p.MaxAttempts {
+func (p *Pool) runJob(l *lane, job *Job, deliver func(*Job, *Result), queue chan<- *Job) {
+	if l.conn == nil || job.attempts >= p.MaxAttempts {
 		res, err := p.Fallback(job)
 		if err != nil {
 			deliver(job, &Result{ID: job.ID, Err: err.Error()})
@@ -220,42 +297,34 @@ func (p *Pool) runJob(lane int, job *Job, deliver func(*Job, *Result), queue cha
 		return
 	}
 	job.attempts++
-	res, err := p.roundTrip(proc, job)
+	res, err := l.conn.RoundTrip(job, p.Timeout)
+	if err == nil && res.ID != job.ID {
+		err = fmt.Errorf("shard: worker answered job %d with result %d", job.ID, res.ID)
+	}
 	if err != nil {
-		// The worker crashed, timed out, or spoke garbage: restart the
-		// lane and let any lane retry the job. Evaluation is a pure
+		// The worker crashed, timed out, or spoke garbage: reconnect
+		// the lane and let any lane retry the job. Evaluation is a pure
 		// function of the job, so the retry is bit-identical.
-		p.restartLane(lane)
+		p.reconnect(l)
 		queue <- job
 		return
 	}
 	deliver(job, res)
 }
 
-// laneProc returns the lane's live process, or nil when the pool is
-// local or the lane is permanently dead.
-func (p *Pool) laneProc(lane int) *workerProc {
-	if p.procs == nil || lane >= len(p.procs) {
-		return nil
-	}
-	return p.procs[lane]
-}
-
-// restartLane replaces a lane's process after a failure. If the
-// respawn fails the lane is marked dead and its future jobs run
+// reconnect replaces a lane's connection after a failure. If the
+// redial fails the lane is marked dead and its future jobs run
 // in-process.
-func (p *Pool) restartLane(lane int) {
-	if p.procs == nil || lane >= len(p.procs) {
-		return
+func (p *Pool) reconnect(l *lane) {
+	if l.conn != nil {
+		l.conn.Close()
 	}
-	if old := p.procs[lane]; old != nil {
-		old.stop()
-	}
-	proc, err := p.spawn()
+	conn, err := l.transport.Dial()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "shard: lane %d respawn failed (%v); falling back in-process\n", lane, err)
-		p.procs[lane] = nil
+		fmt.Fprintf(os.Stderr, "shard: reconnect to %s failed (%v); lane falls back in-process\n",
+			l.transport.Name(), err)
+		l.conn = nil
 		return
 	}
-	p.procs[lane] = proc
+	l.conn = conn
 }

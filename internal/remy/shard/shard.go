@@ -100,6 +100,12 @@ type Result struct {
 	// tree). It is a deterministic error, not a crash: the pool
 	// surfaces it instead of requeueing.
 	Err string `json:"err,omitempty"`
+	// Cached marks a result served verbatim from a worker-side
+	// content-addressed cache (internal/remy/shardnet) instead of a
+	// fresh evaluation. Purely informational: cached bytes are the
+	// stored bytes of an identical earlier job, so scores are
+	// unaffected; the coordinator tallies it for the hit-rate report.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // UsageFrame is one replica's whisker usage of the UsageFor tree.

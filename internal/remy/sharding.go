@@ -10,6 +10,7 @@ import (
 
 	"learnability/internal/cc/remycc"
 	"learnability/internal/remy/shard"
+	"learnability/internal/remy/shardnet"
 )
 
 // Sharded training. The coordinator side (startShards, evaluateSharded)
@@ -33,20 +34,33 @@ func (t *Trainer) startShards(cfg Config) (stop func()) {
 		panic(fmt.Sprintf("remy: training config not serializable: %v", err))
 	}
 	lanes := t.Shards
-	if lanes < 1 {
+	if len(t.Remotes) > 0 {
+		// Remote-only unless local lanes were explicitly requested
+		// (Shards >= 2): a lone default lane would silently race the
+		// workers for jobs and halve any worker cache's reach.
+		if lanes <= 1 {
+			lanes = 0
+		}
+	} else if lanes < 1 {
 		lanes = 1
 	}
+	transports := make([]shard.Transport, len(t.Remotes))
+	for i, addr := range t.Remotes {
+		transports[i] = &shardnet.Dialer{Addr: addr}
+	}
 	pool := &shard.Pool{
-		Lanes:    lanes,
-		Cmd:      t.ShardCmd,
-		Fallback: EvalShardJob,
-		Timeout:  t.ShardTimeout,
+		Lanes:      lanes,
+		Cmd:        t.ShardCmd,
+		Transports: transports,
+		Fallback:   EvalShardJob,
+		Timeout:    t.ShardTimeout,
 	}
 	if err := pool.Start(); err != nil {
 		panic(fmt.Sprintf("remy: shard pool: %v", err))
 	}
 	t.shards = pool
 	t.shardCfg = cfgJSON
+	t.shardResults, t.shardCacheHits = 0, 0
 	return func() {
 		pool.Close()
 		t.shards = nil
@@ -88,7 +102,7 @@ func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFo
 	}
 
 	nSlots := len(scores)
-	lanes := t.Shards
+	lanes := t.shards.NumLanes()
 	if lanes < 1 {
 		lanes = 1
 	}
@@ -133,6 +147,10 @@ func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFo
 	}
 	for i, res := range results {
 		job := jobs[i]
+		t.shardResults++
+		if res.Cached {
+			t.shardCacheHits++
+		}
 		if len(res.Scores) != job.SlotHi-job.SlotLo {
 			panic(fmt.Sprintf("remy: shard job %d returned %d scores for %d slots",
 				job.ID, len(res.Scores), job.SlotHi-job.SlotLo))

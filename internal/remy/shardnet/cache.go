@@ -1,0 +1,130 @@
+package shardnet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"sync"
+
+	"learnability/internal/remy/shard"
+)
+
+// Key is a content address: the SHA-256 of a job's canonical bytes.
+type Key [sha256.Size]byte
+
+// JobKey computes a job's content address. The canonical form zeroes
+// the two fields that vary between identical evaluations — ID (a
+// per-dispatch serial) and Workers (the worker's internal parallelism,
+// which cannot affect the scores: slots are independent and land in
+// fixed positions) — and marshals the rest as JSON. Everything that
+// *can* influence the result (seed, generation, slot range, candidate
+// tree bytes, UsageFor, the full topology-carrying config) is hashed,
+// so equal keys imply bit-equal results and the cache can return
+// stored bytes verbatim.
+func JobKey(job *shard.Job) (Key, error) {
+	canon := *job
+	canon.ID = 0
+	canon.Workers = 0
+	b, err := json.Marshal(&canon)
+	if err != nil {
+		return Key{}, err
+	}
+	return sha256.Sum256(b), nil
+}
+
+// cacheEntry stores one result's bytes plus their hash, taken at Put
+// time; Get re-verifies it so a corrupted entry can never be served.
+type cacheEntry struct {
+	res []byte
+	sum Key
+}
+
+// Cache is a content-addressed result store: job key → marshaled
+// Result bytes (with ID and Cached zeroed). Since a shard job is a
+// pure function of its bytes, a hit returns the stored bytes verbatim
+// and the training output is unchanged by construction — the cache
+// trades CPU for memory, never fidelity.
+//
+// Poisoning guard: every entry carries the SHA-256 of its stored
+// result bytes, and Get re-hashes before serving. An entry whose bytes
+// no longer match (memory corruption, a bug writing through a stale
+// reference) is evicted and counted in Stats().Rejected instead of
+// poisoning a training run.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*cacheEntry
+	order   []Key // insertion order, for FIFO eviction
+	stats   CacheStats
+}
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	// Hits is the number of Get calls served from the cache.
+	Hits uint64
+	// Misses is the number of Get calls that found no entry.
+	Misses uint64
+	// Rejected counts entries that failed the result-hash
+	// re-verification and were evicted instead of served.
+	Rejected uint64
+	// Entries is the current entry count.
+	Entries int
+}
+
+// DefaultCacheEntries bounds a cache built with NewCache(0). Jobs are
+// kilobytes, so the default is a few hundred MB at worst.
+const DefaultCacheEntries = 65536
+
+// NewCache builds a result cache holding at most maxEntries entries
+// (0 = DefaultCacheEntries). When full, the oldest entry is evicted.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{max: maxEntries, entries: make(map[Key]*cacheEntry)}
+}
+
+// Get returns the stored result bytes for key, re-verifying their hash
+// first. A failed verification evicts the entry and reports a miss.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	if sha256.Sum256(e.res) != e.sum {
+		delete(c.entries, key)
+		c.stats.Rejected++
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	return e.res, true
+}
+
+// Put stores result bytes under key, evicting the oldest entry when
+// the cache is full. The caller must not mutate res afterwards.
+func (c *Cache) Put(key Key, res []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = &cacheEntry{res: res, sum: sha256.Sum256(res)}
+	c.order = append(c.order, key)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	return st
+}

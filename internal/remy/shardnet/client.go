@@ -1,0 +1,127 @@
+package shardnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"learnability/internal/remy/shard"
+)
+
+// Dialer is the client half of the TCP transport: it implements
+// shard.Transport, so `remytrain -remotes host:port,...` plugs worker
+// daemons into the same pool (and the same crash/requeue path) as
+// local lanes. Each Dial performs the magic+version handshake before
+// the connection carries a single job.
+type Dialer struct {
+	// Addr is the worker daemon's host:port.
+	Addr string
+	// DialTimeout bounds the TCP connect plus handshake (default 5s).
+	DialTimeout time.Duration
+	// Version is the protocol version to offer (default
+	// shard.ProtocolVersion); tests override it to exercise the
+	// handshake rejection path.
+	Version int
+}
+
+func (d *Dialer) version() int {
+	if d.Version != 0 {
+		return d.Version
+	}
+	return shard.ProtocolVersion
+}
+
+// Dial connects and handshakes with the worker daemon.
+func (d *Dialer) Dial() (shard.Conn, error) {
+	timeout := d.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", d.Addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := shard.WriteFrame(nc, &hello{Magic: Magic, Version: d.version()}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shardnet: %s: send hello: %w", d.Addr, err)
+	}
+	br := bufio.NewReader(nc)
+	var w welcome
+	if err := shard.ReadFrame(br, &w); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shardnet: %s: read welcome: %w", d.Addr, err)
+	}
+	if w.Magic != Magic {
+		nc.Close()
+		return nil, fmt.Errorf("shardnet: %s: not a shardnet worker (magic %q)", d.Addr, w.Magic)
+	}
+	if !w.OK {
+		nc.Close()
+		return nil, fmt.Errorf("shardnet: %s: handshake rejected: %s", d.Addr, w.Reason)
+	}
+	nc.SetDeadline(time.Time{})
+	return &tcpConn{nc: nc, br: br, hb: time.Duration(w.HeartbeatMillis) * time.Millisecond}, nil
+}
+
+// Name identifies the transport by its worker address.
+func (d *Dialer) Name() string { return d.Addr }
+
+// tcpConn is one handshaken worker connection.
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	hb time.Duration // the worker's advertised heartbeat interval
+}
+
+// RoundTrip sends a job and awaits its result. timeout, when positive,
+// bounds the *silence* between frames: the worker's heartbeats reset
+// it, so a long-running job survives any timeout longer than the
+// heartbeat interval while a dead or hung worker still trips it.
+// A timeout below twice the worker's advertised heartbeat interval is
+// raised to that floor — a silence bound shorter than the heartbeat
+// period cannot distinguish alive from dead and would otherwise make
+// every job on the lane time out, reconnect, and silently fall back
+// in-process.
+func (c *tcpConn) RoundTrip(job *shard.Job, timeout time.Duration) (*shard.Result, error) {
+	if timeout > 0 && timeout < 2*c.hb {
+		timeout = 2 * c.hb
+	}
+	if timeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(timeout))
+	} else {
+		c.nc.SetWriteDeadline(time.Time{})
+	}
+	if err := shard.WriteFrame(c.nc, job); err != nil {
+		return nil, err
+	}
+	for {
+		if timeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(timeout))
+		} else {
+			c.nc.SetReadDeadline(time.Time{})
+		}
+		var rep reply
+		if err := shard.ReadFrame(c.br, &rep); err != nil {
+			return nil, err
+		}
+		switch rep.Kind {
+		case kindHeartbeat:
+			// Liveness only; loop and re-arm the deadline. A stale
+			// heartbeat left over from a previous job is skipped the
+			// same way.
+			continue
+		case kindResult:
+			if rep.Result == nil {
+				return nil, fmt.Errorf("shardnet: result frame without a result")
+			}
+			return rep.Result, nil
+		default:
+			return nil, fmt.Errorf("shardnet: unexpected frame kind %q", rep.Kind)
+		}
+	}
+}
+
+// Close tears the connection down, failing any pending RoundTrip.
+func (c *tcpConn) Close() { c.nc.Close() }

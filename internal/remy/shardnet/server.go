@@ -1,0 +1,267 @@
+package shardnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"learnability/internal/remy/shard"
+)
+
+// handshakeTimeout bounds the handshake exchange on a fresh
+// connection, so a port-scanning client cannot pin an accept slot.
+const handshakeTimeout = 10 * time.Second
+
+// writeTimeout bounds any single frame write, so a vanished client
+// (network partition, no RST) cannot hang a session goroutine forever.
+const writeTimeout = time.Minute
+
+// DefaultHeartbeat is the worker's liveness interval while a job
+// evaluates; clients should set their per-job timeout comfortably
+// above it (remytrain's -shard-timeout bounds silence, not job
+// length, on shardnet lanes).
+const DefaultHeartbeat = 2 * time.Second
+
+// Server is the worker half of distributed training: it accepts
+// coordinator connections, performs the version handshake, and serves
+// shard jobs — many per connection — until the peer hangs up.
+// cmd/remyshardd hosts one Server per daemon; the differential tests
+// host them in-process on loopback listeners.
+type Server struct {
+	// Eval evaluates one job (remy.EvalShardJob in the daemon).
+	// Required. Evaluation errors travel back as Result.Err.
+	Eval shard.Eval
+	// Cache, when non-nil, stores every successful result by its job's
+	// content address and serves repeats verbatim (Result.Cached set).
+	Cache *Cache
+	// Heartbeat is the liveness interval while a job evaluates
+	// (default DefaultHeartbeat). Clients count any frame as liveness,
+	// so this bounds how stale a live connection can look.
+	Heartbeat time.Duration
+	// Workers, when positive, overrides each job's internal
+	// parallelism: a coordinator sizes Job.Workers for its own
+	// machine, which means nothing on this one. cmd/remyshardd
+	// defaults it to NumCPU. Parallelism never affects results.
+	Workers int
+	// Version is the protocol version the server speaks (default
+	// shard.ProtocolVersion); the handshake and every job are checked
+	// against it. Tests override it to exercise mismatch rejection.
+	Version int
+	// DieAfter, when positive, drops each connection after fully
+	// serving that many jobs — the next job is read and abandoned
+	// without a reply, simulating a worker killed mid-generation for
+	// the requeue tests (the TCP twin of shard.ServeOpts.DieAfter).
+	DieAfter int
+	// Log, when set, receives one line per connection event.
+	Log func(format string, args ...any)
+
+	jobs      atomic.Uint64 // jobs answered (cache hits included)
+	cacheHits atomic.Uint64 // jobs answered from the cache
+}
+
+// ServerStats counts a server's lifetime traffic.
+type ServerStats struct {
+	// Jobs is the number of jobs answered, cache hits included.
+	Jobs uint64
+	// CacheHits is the number of jobs answered from the cache.
+	CacheHits uint64
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Jobs: s.jobs.Load(), CacheHits: s.cacheHits.Load()}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+func (s *Server) version() int {
+	if s.Version != 0 {
+		return s.Version
+	}
+	return shard.ProtocolVersion
+}
+
+// heartbeat resolves the effective liveness interval.
+func (s *Server) heartbeat() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+// Serve accepts connections on l and serves each in its own
+// goroutine until the listener is closed (which returns nil). Accept
+// errors other than closure — fd exhaustion under connection bursts,
+// transient network trouble — are retried with capped backoff rather
+// than returned: a worker daemon dying on EMFILE would silently
+// degrade every coordinator pointed at it to in-process fallback.
+func (s *Server) Serve(l net.Listener) error {
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			s.logf("shardnet: accept: %v; retrying in %v", err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		go s.ServeConn(conn)
+	}
+}
+
+// session serializes frame writes to one connection: the heartbeat
+// goroutine and the job loop share the socket.
+type session struct {
+	nc net.Conn
+	mu sync.Mutex
+}
+
+// write sends one reply frame under the session's write lock and
+// deadline.
+func (sn *session) write(r *reply) error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return shard.WriteFrame(sn.nc, r)
+}
+
+// ServeConn handshakes and serves one coordinator connection to
+// completion, closing it on return.
+func (s *Server) ServeConn(nc net.Conn) {
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	var h hello
+	if err := shard.ReadFrame(br, &h); err != nil {
+		s.logf("shardnet: %s: handshake read: %v", nc.RemoteAddr(), err)
+		return
+	}
+	w := welcome{Magic: Magic, Version: s.version(), OK: true, HeartbeatMillis: s.heartbeat().Milliseconds()}
+	switch {
+	case h.Magic != Magic:
+		w.OK, w.Reason = false, fmt.Sprintf("bad magic %q", h.Magic)
+	case h.Version != s.version():
+		w.OK, w.Reason = false, fmt.Sprintf("protocol version %d, worker speaks %d", h.Version, s.version())
+	}
+	if err := shard.WriteFrame(nc, &w); err != nil || !w.OK {
+		s.logf("shardnet: %s: handshake rejected: %s", nc.RemoteAddr(), w.Reason)
+		return
+	}
+	nc.SetDeadline(time.Time{})
+	s.logf("shardnet: %s: connected (protocol v%d)", nc.RemoteAddr(), s.version())
+
+	sn := &session{nc: nc}
+	served := 0
+	for {
+		job := &shard.Job{}
+		if err := shard.ReadFrame(br, job); err != nil {
+			s.logf("shardnet: %s: disconnected: %v", nc.RemoteAddr(), err)
+			return
+		}
+		if s.DieAfter > 0 && served >= s.DieAfter {
+			s.logf("shardnet: %s: DieAfter %d reached; dropping connection", nc.RemoteAddr(), s.DieAfter)
+			return
+		}
+		res := s.evalJob(sn, job)
+		if err := sn.write(&reply{Kind: kindResult, Result: res}); err != nil {
+			s.logf("shardnet: %s: write result: %v", nc.RemoteAddr(), err)
+			return
+		}
+		served++
+		s.jobs.Add(1)
+	}
+}
+
+// evalJob answers one job: version check, cache lookup, then a fresh
+// evaluation under a heartbeat ticker, storing the result for next
+// time. Failures become error Results, never torn connections — only
+// transport trouble ends a session.
+func (s *Server) evalJob(sn *session, job *shard.Job) *shard.Result {
+	if job.Version != s.version() {
+		return &shard.Result{ID: job.ID, Err: fmt.Sprintf("protocol version %d, worker speaks %d", job.Version, s.version())}
+	}
+	var key Key
+	if s.Cache != nil {
+		k, err := JobKey(job)
+		if err != nil {
+			return &shard.Result{ID: job.ID, Err: fmt.Sprintf("shardnet: hash job: %v", err)}
+		}
+		key = k
+		if b, ok := s.Cache.Get(key); ok {
+			res := &shard.Result{}
+			if err := json.Unmarshal(b, res); err == nil {
+				res.ID = job.ID
+				res.Cached = true
+				s.cacheHits.Add(1)
+				return res
+			}
+			// An undecodable entry is as good as poisoned; fall
+			// through to a fresh evaluation.
+		}
+	}
+
+	if s.Workers > 0 {
+		job.Workers = s.Workers
+	}
+	stop := s.startHeartbeat(sn)
+	res, err := s.Eval(job)
+	stop()
+	if err != nil {
+		return &shard.Result{ID: job.ID, Err: err.Error()}
+	}
+	res.ID = job.ID
+	if s.Cache != nil && res.Err == "" {
+		stored := *res
+		stored.ID = 0
+		stored.Cached = false
+		if b, err := json.Marshal(&stored); err == nil {
+			s.Cache.Put(key, b)
+		}
+	}
+	return res
+}
+
+// startHeartbeat emits heartbeat frames on the session until the
+// returned stop function is called (which joins the ticker goroutine,
+// so no heartbeat write races the result write's buffer).
+func (s *Server) startHeartbeat(sn *session) (stop func()) {
+	interval := s.heartbeat()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if sn.write(&reply{Kind: kindHeartbeat}) != nil {
+					return // the job loop will see the same broken pipe
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

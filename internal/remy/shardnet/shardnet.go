@@ -1,0 +1,72 @@
+// Package shardnet distributes shard jobs across machines: a TCP
+// transport for shard.Pool lanes (Dialer, the client half) and the
+// worker daemon's serving loop (Server, hosted by cmd/remyshardd).
+//
+// The wire format reuses the shard package's length-prefixed JSON
+// frames and its topology-carrying v2 Job/Result protocol verbatim —
+// a job crossing TCP is byte-identical to a job crossing a pipe. On
+// top of it, shardnet adds what a network needs and a pipe does not:
+//
+//   - a connection handshake (magic string + protocol version both
+//     ways) so mismatched builds are rejected before any job is
+//     miscomputed;
+//   - heartbeat frames from the worker while a job evaluates, so the
+//     client's per-job timeout bounds *silence* rather than job
+//     length — a slow worker survives, a hung or dead one is detected;
+//   - reconnect-with-requeue: a failed round-trip tears the
+//     connection down and shard.Pool redials and requeues, exactly
+//     like the process-lane crash path;
+//   - a content-addressed result cache on the worker (see Cache):
+//     jobs are pure functions of their bytes, so a repeated candidate
+//     evaluation returns the stored result verbatim, preserving
+//     byte-identical training output by construction.
+//
+// Determinism contract: shardnet changes where and when a job runs,
+// never what it computes. The differential tests in internal/remy
+// hold TCP-sharded training byte-equal to in-process training,
+// including workers killed mid-generation and warm-cache reruns.
+package shardnet
+
+import (
+	"learnability/internal/remy/shard"
+)
+
+// Magic identifies the shardnet protocol in the handshake; anything
+// else on the socket (a stray HTTP client, a port scan) is rejected
+// before a job frame is ever parsed.
+const Magic = "remy-shardnet"
+
+// hello is the client's first frame after connecting.
+type hello struct {
+	// Magic must equal the package's Magic constant.
+	Magic string `json:"magic"`
+	// Version is the client's shard.ProtocolVersion.
+	Version int `json:"version"`
+}
+
+// welcome is the server's handshake reply. A rejected handshake
+// (OK=false) carries the reason and the server's version so the
+// operator can see which side is stale. An accepted one advertises
+// the worker's heartbeat interval, so the client can keep its per-job
+// silence bound meaningful (see tcpConn.RoundTrip).
+type welcome struct {
+	Magic           string `json:"magic"`
+	Version         int    `json:"version"`
+	OK              bool   `json:"ok"`
+	Reason          string `json:"reason,omitempty"`
+	HeartbeatMillis int64  `json:"hb_ms,omitempty"`
+}
+
+// Reply kinds: every post-handshake server→client frame is a reply
+// tagged with one of these.
+const (
+	kindHeartbeat = "hb"
+	kindResult    = "result"
+)
+
+// reply is one server→client frame after the handshake: a liveness
+// heartbeat while a job evaluates, or the job's result.
+type reply struct {
+	Kind   string        `json:"kind"`
+	Result *shard.Result `json:"result,omitempty"`
+}

@@ -1,0 +1,161 @@
+package remy
+
+// Differential tests for the distributed (TCP) shard fabric: training
+// over shardnet workers — loopback servers hosted inside this test
+// binary, no separate daemon build — must produce a tree BYTE-EQUAL to
+// the in-process trainer, through reconnects, a worker machine lost
+// for good mid-generation, and warm result caches. These extend the
+// pipe-transport guarantees of sharddiff_test.go to the network.
+
+import (
+	"bytes"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"learnability/internal/remy/shardnet"
+)
+
+// startTCPWorker serves real shard jobs on a loopback listener and
+// returns its address and server (for stats). The heartbeat is fast so
+// tests with per-job timeouts exercise the liveness path.
+func startTCPWorker(t *testing.T, srv *shardnet.Server) (string, *shardnet.Server) {
+	t.Helper()
+	if srv == nil {
+		srv = &shardnet.Server{}
+	}
+	if srv.Eval == nil {
+		srv.Eval = EvalShardJob
+	}
+	if srv.Heartbeat == 0 {
+		srv.Heartbeat = 25 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv
+}
+
+// TestShardedTrainBitEqualTCP is the tentpole guarantee: training over
+// TCP worker lanes — remote-only, several remotes, and remotes mixed
+// with local in-process lanes — is byte-identical to the in-process
+// trainer for the same seed and budget.
+func TestShardedTrainBitEqualTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	a, _ := startTCPWorker(t, nil)
+	b, _ := startTCPWorker(t, nil)
+	for _, tc := range []struct {
+		name string
+		tr   *Trainer
+	}{
+		{"remote-only", &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{a}}},
+		{"two-remotes", &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{a, b}}},
+		{"mixed-local-and-remote", &Trainer{Cfg: tinyConfig(), Seed: seed, Shards: 2, Remotes: []string{a}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := trainBytes(t, tc.tr); !bytes.Equal(got, want) {
+				t.Fatal("TCP-sharded training changed the trained tree")
+			}
+		})
+	}
+}
+
+// limitListener grants at most n Accepts, then closes for good —
+// simulating a worker machine that disappears and never comes back,
+// so redials fail and the pool must requeue elsewhere.
+type limitListener struct {
+	net.Listener
+	left atomic.Int64
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	if l.left.Add(-1) < 0 {
+		l.Listener.Close()
+		return nil, net.ErrClosed
+	}
+	return l.Listener.Accept()
+}
+
+// TestShardedTrainTCPWorkerKilledMidGeneration kills one of two TCP
+// workers mid-generation — each of its connections dies after two jobs
+// (the third is read and dropped, a job lost in flight), and after two
+// connections the machine is gone for good — and still requires a
+// byte-equal result: dropped jobs requeue onto the surviving worker
+// (or the in-process fallback), and a requeued job's result is
+// bit-identical by purity.
+func TestShardedTrainTCPWorkerKilledMidGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+
+	healthy, _ := startTCPWorker(t, nil)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	lim := &limitListener{Listener: ln}
+	lim.left.Store(2)
+	flaky := &shardnet.Server{Eval: EvalShardJob, Heartbeat: 25 * time.Millisecond, DieAfter: 2}
+	go flaky.Serve(lim)
+
+	tr := &Trainer{
+		Cfg:          tinyConfig(),
+		Seed:         seed,
+		Remotes:      []string{healthy, ln.Addr().String()},
+		ShardTimeout: time.Minute,
+	}
+	if got := trainBytes(t, tr); !bytes.Equal(got, want) {
+		t.Fatal("a worker killed mid-generation changed the trained tree")
+	}
+}
+
+// TestShardedTrainTCPWarmCacheRerun trains twice against the same
+// worker: the second run is served largely from the worker's
+// content-addressed result cache and must still be byte-equal — cached
+// results are stored bytes of identical jobs, so equality holds by
+// construction, and the coordinator's hit counter proves the cache
+// actually served.
+func TestShardedTrainTCPWarmCacheRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	addr, srv := startTCPWorker(t, &shardnet.Server{Cache: shardnet.NewCache(0)})
+
+	cold := &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{addr}}
+	if got := trainBytes(t, cold); !bytes.Equal(got, want) {
+		t.Fatal("cold-cache TCP training changed the trained tree")
+	}
+	coldHits, coldTotal := cold.ShardCacheStats()
+	if coldTotal == 0 {
+		t.Fatal("no shard results counted; the TCP path did not run")
+	}
+
+	warm := &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{addr}}
+	if got := trainBytes(t, warm); !bytes.Equal(got, want) {
+		t.Fatal("warm-cache TCP training changed the trained tree")
+	}
+	warmHits, warmTotal := warm.ShardCacheStats()
+	if warmHits == 0 {
+		t.Fatal("warm rerun reported zero cache hits; the cache never served")
+	}
+	if warmHits != warmTotal {
+		t.Logf("warm rerun: %d/%d results cached (cold run: %d/%d)", warmHits, warmTotal, coldHits, coldTotal)
+	}
+	if st := srv.Stats(); st.CacheHits == 0 {
+		t.Fatalf("worker served %d jobs but reported no cache hits", st.Jobs)
+	}
+}

@@ -203,6 +203,12 @@ type Spec struct {
 	// BufferBDP is the gateway buffer depth in bandwidth-delay
 	// products of the link it sits on.
 	BufferBDP float64
+	// LinkBufferBDP optionally overrides BufferBDP per link, in link
+	// order; zero entries fall back to BufferBDP. An explicit
+	// topo.Edge.Buffer (bytes) on a graph edge takes precedence over
+	// both — buffer sizing resolves per link as: edge override, then
+	// per-link BDP, then the spec-wide BDP.
+	LinkBufferBDP []float64
 
 	// MeanOn and MeanOff are the exponential workload means.
 	MeanOn, MeanOff units.Duration
@@ -352,9 +358,18 @@ func build(spec Spec) (*netsim.Network, []queue.Discipline, *topo.Graph, error) 
 		return nil, nil, nil, err
 	}
 
+	if len(spec.LinkBufferBDP) > len(lay.Edges) {
+		return nil, nil, nil, fmt.Errorf("scenario: %d per-link buffer overrides for %d links",
+			len(spec.LinkBufferBDP), len(lay.Edges))
+	}
+	for i, bdp := range spec.LinkBufferBDP {
+		if bdp < 0 {
+			return nil, nil, nil, fmt.Errorf("scenario: link %d has negative buffer override %v BDP", i, bdp)
+		}
+	}
 	queues := make([]queue.Discipline, len(lay.Edges))
 	for i, e := range lay.Edges {
-		q, err := spec.mkQueue(e.Rate)
+		q, err := spec.mkQueue(i, e)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -399,21 +414,37 @@ func MustBuild(spec Spec) (*netsim.Network, []queue.Discipline) {
 	return nw, queues
 }
 
-// mkQueue builds one gateway queue for a link of the given rate.
-func (s *Spec) mkQueue(rate units.Rate) (queue.Discipline, error) {
+// mkQueue builds the gateway queue for link i (edge e of the compiled
+// layout). Capacity resolves per link: the edge's explicit byte
+// override, then the per-link BDP override, then the spec-wide
+// BufferBDP.
+func (s *Spec) mkQueue(i int, e topo.Edge) (queue.Discipline, error) {
 	switch s.Buffering {
 	case NoDrop:
 		return queue.NewInfinite(), nil
 	case FiniteDropTail, SfqCoDel:
-		// Finite buffers are sized in BDPs of MinRTT even for explicit
-		// graphs (whose layout otherwise ignores the field); without it
-		// every buffer would silently floor at two packets.
-		if s.MinRTT <= 0 {
-			return nil, fmt.Errorf("scenario: finite buffering is sized by MinRTT, which is %v", s.MinRTT)
-		}
-		capBytes := int(float64(units.BDPBytes(rate, s.MinRTT)) * s.BufferBDP)
-		if capBytes < 2*1500 {
-			capBytes = 2 * 1500
+		// An explicit edge override is used verbatim — a tiny-buffer
+		// study may genuinely want a single-packet queue. The
+		// two-packet floor applies only to computed BDP sizes, where a
+		// small rate*RTT product would otherwise silently strangle the
+		// link.
+		capBytes := e.Buffer
+		if capBytes <= 0 {
+			bdp := s.BufferBDP
+			if i < len(s.LinkBufferBDP) && s.LinkBufferBDP[i] > 0 {
+				bdp = s.LinkBufferBDP[i]
+			}
+			// BDP-sized buffers are in multiples of rate*MinRTT even
+			// for explicit graphs (whose layout otherwise ignores the
+			// field); without it every buffer would silently floor at
+			// two packets.
+			if s.MinRTT <= 0 {
+				return nil, fmt.Errorf("scenario: finite buffering is sized by MinRTT, which is %v", s.MinRTT)
+			}
+			capBytes = int(float64(units.BDPBytes(e.Rate, s.MinRTT)) * bdp)
+			if capBytes < 2*1500 {
+				capBytes = 2 * 1500
+			}
 		}
 		if s.Buffering == SfqCoDel {
 			return queue.NewSFQCoDel(queue.SFQCoDelBins, capBytes), nil

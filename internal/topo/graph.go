@@ -18,6 +18,13 @@ type Edge struct {
 	Rate units.Rate `json:"rate"`
 	// Prop is the link's one-way propagation delay.
 	Prop units.Duration `json:"prop"`
+	// Buffer, when positive, fixes this link's gateway buffer capacity
+	// in bytes, used verbatim — it overrides whatever sizing policy
+	// the scenario applies (spec-wide or per-link BDP multiples,
+	// including their two-packet floor). 0 means "no override".
+	// Like the rest of the description it is data, so per-link buffers
+	// ship across the shard wire protocol inside the training config.
+	Buffer int `json:"buffer,omitempty"`
 }
 
 // Route is one flow's path through a Graph: the edges it traverses in
@@ -61,6 +68,9 @@ func (g *Graph) Validate() error {
 		}
 		if e.Prop < 0 {
 			return fmt.Errorf("topo: edge %d has negative propagation delay %v", i, e.Prop)
+		}
+		if e.Buffer < 0 {
+			return fmt.Errorf("topo: edge %d has negative buffer override %d", i, e.Buffer)
 		}
 	}
 	for f, rt := range g.Routes {

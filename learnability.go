@@ -38,6 +38,7 @@ import (
 	"learnability/internal/cc/vegas"
 	"learnability/internal/core"
 	"learnability/internal/remy"
+	"learnability/internal/remy/shardnet"
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
 	"learnability/internal/topo"
@@ -127,6 +128,28 @@ type (
 
 // DefaultTrainBudget is a laptop-scale training budget.
 func DefaultTrainBudget() TrainBudget { return remy.DefaultBudget() }
+
+// Distributed training (the shardnet TCP fabric).
+type (
+	// ShardServer serves shard jobs over TCP to remote coordinators
+	// (the worker half of Trainer.Remotes); cmd/remyshardd hosts one
+	// per machine, and benchmarks host them in-process on loopback.
+	ShardServer = shardnet.Server
+	// ShardCache is a worker-side content-addressed result cache.
+	ShardCache = shardnet.Cache
+)
+
+// NewShardServer returns a TCP shard worker wired to the real job
+// evaluator, with a result cache of maxCacheEntries entries (0 = the
+// default size, negative = no cache). Serve it on a net.Listener and
+// point Trainer.Remotes at its address.
+func NewShardServer(maxCacheEntries int) *ShardServer {
+	srv := &shardnet.Server{Eval: remy.EvalShardJob}
+	if maxCacheEntries >= 0 {
+		srv.Cache = shardnet.NewCache(maxCacheEntries)
+	}
+	return srv
+}
 
 // Scenario execution.
 type (

@@ -41,16 +41,17 @@ func main() {
 	)
 	flag.Parse()
 
+	var cache *shardnet.Cache
+	if *cacheN >= 0 {
+		cache = shardnet.NewCache(*cacheN)
+	}
 	srv := &shardnet.Server{
-		Eval:      remy.EvalShardJob,
+		Eval:      remy.CachedShardEval(cache),
 		Heartbeat: *hb,
 		Workers:   *workers,
 	}
 	if srv.Workers <= 0 {
 		srv.Workers = runtime.NumCPU()
-	}
-	if *cacheN >= 0 {
-		srv.Cache = shardnet.NewCache(*cacheN)
 	}
 	if s := os.Getenv("REMY_SHARD_DIE_AFTER"); s != "" {
 		n, err := strconv.Atoi(s)
@@ -65,9 +66,9 @@ func main() {
 		go func() {
 			for range time.Tick(time.Minute) {
 				st := srv.Stats()
-				if srv.Cache != nil {
-					cs := srv.Cache.Stats()
-					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served, cache %d hits / %d misses / %d entries\n",
+				if cache != nil {
+					cs := cache.Stats()
+					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served, slot cache %d hits / %d misses / %d entries\n",
 						st.Jobs, cs.Hits, cs.Misses, cs.Entries)
 				} else {
 					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served (cache disabled)\n", st.Jobs)
@@ -82,7 +83,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "remyshardd: serving shard jobs on %s (%d workers/job, cache %v)\n",
-		ln.Addr(), srv.Workers, srv.Cache != nil)
+		ln.Addr(), srv.Workers, cache != nil)
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "remyshardd:", err)
 		os.Exit(1)

@@ -55,6 +55,7 @@ func main() {
 		shardWkrs  = flag.Int("shard-workers", 0, "parallel simulations per shard (0 = NumCPU/shards)")
 		shardTmo   = flag.Duration("shard-timeout", 0, "kill and requeue a shard job after this long (e.g. 10m); 0 waits forever — set it to survive hung (not just crashed) workers. On -remotes lanes this bounds silence between frames (heartbeats reset it), not job length")
 		remotes    = flag.String("remotes", "", "comma-separated remyshardd worker addresses (host:port,...); each is one TCP shard lane. Remote-only unless -shards 2+ adds local lanes. Output stays byte-identical to in-process training")
+		shardJSON  = flag.Bool("shard-json", false, "ship shard jobs in the JSON reference codec instead of the binary one; output is byte-identical either way")
 		out        = flag.String("o", "tao.json", "output file for the whisker tree")
 		verbose    = flag.Bool("v", true, "stream search progress")
 	)
@@ -152,6 +153,7 @@ func main() {
 		ShardWorkers: *shardWkrs,
 		ShardTimeout: *shardTmo,
 		Remotes:      remoteAddrs,
+		ShardJSON:    *shardJSON,
 	}
 	if *verbose {
 		tr.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }

@@ -80,6 +80,42 @@ func NewLink(sched *sim.Scheduler, rate units.Rate, prop units.Duration, q queue
 	return l
 }
 
+// Reinit retargets a link from a finished simulation at a new rate,
+// propagation delay, and queueing discipline, keeping the scheduler
+// binding and the pre-bound timer callbacks (both close over the link,
+// whose identity is preserved). Packets still being serialized or in
+// propagation are returned to the pool; the previous queue is dropped
+// wholesale, packets and all (worlds are recycled only between runs,
+// where the fresh-build path would have dropped the same packets with
+// the whole network). The route table must be re-installed with
+// SetRoute before traffic flows.
+func (l *Link) Reinit(rate units.Rate, prop units.Duration, q queue.Discipline) {
+	if rate <= 0 {
+		panic("netsim: link with non-positive rate")
+	}
+	if prop < 0 {
+		panic("netsim: link with negative propagation delay")
+	}
+	if q == nil {
+		panic("netsim: link with nil queue")
+	}
+	if l.txPkt != nil {
+		l.pool.Put(l.txPkt)
+		l.txPkt = nil
+	}
+	l.propQ.drainTo(l.pool)
+	l.busy = false
+	l.rate = rate
+	l.prop = prop
+	l.q = q
+	l.txMTU = rate.TransmissionTime(packet.MTU)
+	l.txACK = rate.TransmissionTime(packet.ACKSize)
+	l.next = nil
+	if pa, ok := q.(queue.PoolAware); ok {
+		pa.SetPool(l.pool)
+	}
+}
+
 // SetRoute installs the flow-indexed next-hop table: next[flow] is the
 // Deliverer packets of that flow are handed to when they exit the link.
 // Topology builders (package topo) compile a flow's multi-hop path into

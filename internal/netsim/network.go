@@ -55,6 +55,16 @@ func (n *Network) AddLink(l *Link) {
 	n.Links = append(n.Links, l)
 }
 
+// Reset rewinds the network's shared machinery — the scheduler (to
+// time zero, arena kept) and the packet pool's counters (free list
+// kept) — so the network can host another simulation. Links and flow
+// endpoints are reinitialized separately by topo.BuildInto, which owns
+// the per-run topology.
+func (n *Network) Reset() {
+	n.Sched.Reset()
+	n.Pool.Reset()
+}
+
 // Sample schedules fn to run every interval from time 0 until the end
 // of the run (used to record queue-occupancy time series).
 func (n *Network) Sample(interval units.Duration, fn func(now units.Time)) {

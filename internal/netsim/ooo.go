@@ -73,6 +73,14 @@ func (r *ringOoo) advance(newBase int64) {
 	}
 }
 
+// reset clears all presence flags and rewinds the window to sequence
+// zero, keeping the ring's grown capacity (a recycled world's reorder
+// window converged once; there is no reason to re-learn it).
+func (r *ringOoo) reset() {
+	clear(r.present)
+	r.base = 0
+}
+
 // grow doubles the ring, re-seating live entries at their new masked
 // positions.
 func (r *ringOoo) grow() {

@@ -47,6 +47,18 @@ func NewReceiver(sched *sim.Scheduler, flow int, ackDelay units.Duration, stats 
 	return r
 }
 
+// Reinit restores a receiver from a finished simulation to the
+// just-constructed state with a new reverse-path delay, keeping the
+// scheduler, flow ID, stats, pool, and sender bindings (the sender's
+// identity is preserved across world recycling, so the reverse path
+// stays wired). ACKs still in flight are returned to the pool.
+func (r *Receiver) Reinit(ackDelay units.Duration) {
+	r.ackDelay = ackDelay
+	r.cum = -1
+	r.ooo.reset()
+	r.ackQ.drainTo(r.pool)
+}
+
 // SetSender wires the reverse path. It must be called before traffic
 // flows (topology builders do this).
 func (r *Receiver) SetSender(s *Sender) { r.sender = s }

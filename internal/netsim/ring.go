@@ -27,3 +27,13 @@ func (r *pktRing) pop() *packet.Packet {
 	}
 	return p
 }
+
+// drainTo empties the ring, returning every packet to the pool (which
+// may be nil). Used when a world is recycled: packets still in flight
+// at the end of a run go back to the free list instead of leaking to
+// the next run's ring contents.
+func (r *pktRing) drainTo(pool *packet.Pool) {
+	for r.len() > 0 {
+		pool.Put(r.pop())
+	}
+}

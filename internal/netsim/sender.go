@@ -114,6 +114,48 @@ func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Delivere
 // data packets are drawn.
 func (s *Sender) SetPool(p *packet.Pool) { s.pool = p }
 
+// Reinit restores a sender from a finished simulation to the
+// just-constructed state with a new congestion-control algorithm and
+// egress, keeping everything tied to the sender's identity: the
+// scheduler, flow ID, stats and pool bindings, and the pre-bound timer
+// callbacks (which close over s, not over any per-run state). The ring
+// scoreboard is rewound in place; if a previous run swapped in the
+// reference map scoreboard (UseMapScoreboard), the default ring is
+// restored — mode flags are re-applied per run by the caller.
+func (s *Sender) Reinit(alg cc.Algorithm, egress Deliverer) {
+	if alg == nil {
+		panic("netsim: sender with nil congestion-control algorithm")
+	}
+	if egress == nil {
+		panic("netsim: sender with nil egress")
+	}
+	s.alg = alg
+	s.egress = egress
+	s.on = false
+	s.nextSeq = 0
+	s.sndUna = 0
+	if rb, ok := s.sb.(*ringScoreboard); ok {
+		rb.reset(0)
+	} else {
+		s.sb = newRingScoreboard()
+	}
+	s.lostQueue = s.lostQueue[:0]
+	s.lostHead = 0
+	s.highestSacked = -1
+	s.lossScan = 0
+	s.excluded = 0
+	s.inRecovery = false
+	s.recover = 0
+	s.srtt = 0
+	s.rttvar = 0
+	s.hasRTT = false
+	s.minRTT = units.Duration(math.MaxInt64)
+	s.rtoBackoff = 0
+	s.rtoTimer = sim.Timer{}
+	s.paceTimer = sim.Timer{}
+	s.nextSendTime = 0
+}
+
 // UseMapScoreboard swaps the default ring-buffer SACK scoreboard for
 // the reference hash-map implementation (the seed simulator's
 // behavior). Results are bit-identical either way — the differential

@@ -43,6 +43,13 @@ type FlowStats struct {
 	isOn    bool
 }
 
+// Reset restores the zero-measurement state for a recycled world,
+// re-stamping the identity and delay geometry that topo.BuildInto
+// derives from the new run's topology.
+func (s *FlowStats) Reset(flow int, prop, minRTT units.Duration) {
+	*s = FlowStats{Flow: flow, PropDelay: prop, MinRTT: minRTT}
+}
+
 // setOn records an on/off transition at time now.
 func (s *FlowStats) setOn(now units.Time, on bool) {
 	if on == s.isOn {

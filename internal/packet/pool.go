@@ -38,6 +38,17 @@ type Pool struct {
 // slabSize is how many packets a dry pool allocates at once.
 const slabSize = 256
 
+// Reset prepares the pool for another simulation on the same world:
+// the free list and current slab are kept — recycling them across runs
+// is the point of world reuse — and only the traffic counters restart,
+// so per-run observability stays meaningful.
+func (pl *Pool) Reset() {
+	if pl == nil {
+		return
+	}
+	pl.Gets, pl.Reuses = 0, 0
+}
+
 // Disable turns the pool into a plain allocator: Get allocates and Put
 // discards. Used to cross-check that pooling does not change simulation
 // results.

@@ -343,6 +343,11 @@ type Trainer struct {
 	// result caches change only where results come from, never their
 	// bytes.
 	Remotes []string
+	// ShardJSON pins shard traffic to the length-prefixed JSON
+	// reference codec instead of the binary v3 codec. The codec
+	// differential tests train once per codec and require byte-equal
+	// trees; production runs leave it false.
+	ShardJSON bool
 
 	// jobs feeds the worker pool while Train is running. When nil
 	// (evaluate called outside Train, as some tests do), work runs
@@ -359,8 +364,10 @@ type Trainer struct {
 	// (see startShards); nil otherwise.
 	shards *shard.Pool
 	// shardCfg caches the generation-invariant config encoding shipped
-	// in every shard job.
-	shardCfg []byte
+	// in every shard job, and shardCfgHash its content address: each
+	// connection ships the blob once and goes hash-only after.
+	shardCfg     []byte
+	shardCfgHash shard.Hash
 	// shardJobID numbers jobs so results can be matched to requests
 	// across the wire.
 	shardJobID uint64

@@ -1,0 +1,511 @@
+// Binary wire codec for protocol v3, plus the content-addressed
+// config store that backs config-by-hash job shipping.
+//
+// Frames stay 4-byte big-endian length + payload in both codecs; the
+// payload's first byte selects the codec ('{' is a JSON object, anything
+// else must open a binary magic). Floats cross the binary wire as
+// explicit little-endian IEEE-754 bits — the same discipline as
+// remycc's tree codec — so every float64 (including NaN payloads and
+// infinities) survives bit-exactly and the trainer's byte-equality
+// proofs keep holding. The JSON codec remains compiled in as the
+// reference implementation; the differential tests drive both and
+// require identical training output.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"learnability/internal/cc/remycc"
+)
+
+// Binary payload magics, little-endian. The leading 'R' guarantees the
+// first byte is never '{', so codec sniffing is unambiguous.
+const (
+	jobMagic    = uint32('R') | uint32('J')<<8 | uint32('B')<<16 | uint32('3')<<24
+	resultMagic = uint32('R') | uint32('R')<<8 | uint32('S')<<16 | uint32('3')<<24
+)
+
+// Hash is a SHA-256 content address, used to ship the training config
+// once per connection and reference it by hash thereafter.
+type Hash [sha256.Size]byte
+
+// HashBytes is the content address of b.
+func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
+
+// IsZero reports whether h is the zero (unset) hash.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// String renders a short prefix for diagnostics.
+func (h Hash) String() string { return hex.EncodeToString(h[:6]) }
+
+// MarshalJSON encodes the hash as a hex string ("" for the zero hash)
+// so the JSON reference codec stays human-readable.
+func (h Hash) MarshalJSON() ([]byte, error) {
+	if h.IsZero() {
+		return []byte(`""`), nil
+	}
+	return []byte(`"` + hex.EncodeToString(h[:]) + `"`), nil
+}
+
+// UnmarshalJSON decodes the hex form written by MarshalJSON.
+func (h *Hash) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("shard: malformed hash %q", b)
+	}
+	s := b[1 : len(b)-1]
+	if len(s) == 0 {
+		*h = Hash{}
+		return nil
+	}
+	if len(s) != 2*sha256.Size {
+		return fmt.Errorf("shard: hash of %d hex digits", len(s))
+	}
+	_, err := hex.Decode(h[:], s)
+	return err
+}
+
+// WritePayload writes one raw frame: the 4-byte big-endian payload
+// length followed by the payload, issued as a single Write so frames
+// never interleave.
+func WritePayload(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadPayload reads one frame's payload. It returns io.EOF unwrapped
+// when the stream ends cleanly between frames.
+func ReadPayload(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("shard: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("shard: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("shard: read frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// IsJSONPayload reports whether a frame payload is in the JSON
+// reference codec (it opens a JSON object) rather than the binary one.
+func IsJSONPayload(p []byte) bool { return len(p) > 0 && p[0] == '{' }
+
+// DecodeJSON decodes a JSON frame payload into v — the payload-level
+// twin of ReadFrame for transports that sniff codecs themselves.
+func DecodeJSON(payload []byte, v any) error { return unmarshalJSONFrame(payload, v) }
+
+// appendI64 appends v little-endian; all binary-codec integers cross
+// the wire as 64-bit two's complement for one uniform layout.
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// appendBlob appends a u32 length prefix and the bytes.
+func appendBlob(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// cursor is a bounds-checked binary-payload reader; the first overrun
+// latches err and zero-values every subsequent read.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("shard: truncated binary frame at %s (offset %d of %d)", what, c.off, len(c.b))
+	}
+}
+
+func (c *cursor) u32(what string) uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64(what string) uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) i64(what string) int64 { return int64(c.u64(what)) }
+
+// blob reads a u32-length-prefixed byte string, returning nil for an
+// empty one. The returned slice aliases the payload.
+func (c *cursor) blob(what string) []byte {
+	n := int(c.u32(what))
+	if c.err != nil || n < 0 || c.off+n > len(c.b) {
+		c.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := c.b[c.off : c.off+n : c.off+n]
+	c.off += n
+	return p
+}
+
+// done errors unless the payload was consumed exactly.
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("shard: %d trailing bytes in binary frame", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// EncodeJob renders a job in the binary codec (or the JSON reference
+// codec when binaryCodec is false).
+func EncodeJob(job *Job, binaryCodec bool) ([]byte, error) {
+	if !binaryCodec {
+		return marshalJSONFrame(job)
+	}
+	b := make([]byte, 0, 128+len(job.Cfg)+treesSize(job.Trees))
+	b = binary.LittleEndian.AppendUint32(b, jobMagic)
+	b = binary.LittleEndian.AppendUint64(b, job.ID)
+	b = appendI64(b, int64(job.Version))
+	b = binary.LittleEndian.AppendUint64(b, job.Seed)
+	b = appendI64(b, int64(job.Gen))
+	b = appendI64(b, int64(job.Replicas))
+	b = appendI64(b, int64(job.UsageFor))
+	b = appendI64(b, int64(job.SlotLo))
+	b = appendI64(b, int64(job.SlotHi))
+	b = appendI64(b, int64(job.Workers))
+	b = appendI64(b, int64(job.TreeLo))
+	if job.CfgHash.IsZero() {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = append(b, job.CfgHash[:]...)
+	}
+	b = appendBlob(b, job.Cfg)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(job.Trees)))
+	for _, tree := range job.Trees {
+		b = appendBlob(b, tree)
+	}
+	return b, nil
+}
+
+func treesSize(trees [][]byte) int {
+	n := 0
+	for _, t := range trees {
+		n += 4 + len(t)
+	}
+	return n
+}
+
+// DecodeJob decodes a job payload in either codec, reporting which one
+// carried it so the worker can reply in kind.
+func DecodeJob(payload []byte) (job *Job, jsonCodec bool, err error) {
+	if IsJSONPayload(payload) {
+		job = &Job{}
+		return job, true, unmarshalJSONFrame(payload, job)
+	}
+	c := &cursor{b: payload}
+	if m := c.u32("magic"); c.err == nil && m != jobMagic {
+		return nil, false, fmt.Errorf("shard: bad job magic %#x", m)
+	}
+	job = &Job{}
+	job.ID = c.u64("id")
+	job.Version = int(c.i64("version"))
+	job.Seed = c.u64("seed")
+	job.Gen = int(c.i64("gen"))
+	job.Replicas = int(c.i64("replicas"))
+	job.UsageFor = int(c.i64("usage_for"))
+	job.SlotLo = int(c.i64("slot_lo"))
+	job.SlotHi = int(c.i64("slot_hi"))
+	job.Workers = int(c.i64("workers"))
+	job.TreeLo = int(c.i64("tree_lo"))
+	switch flag := c.flagByte("cfg_hash flag"); flag {
+	case 0:
+	case 1:
+		if c.err == nil && c.off+sha256.Size <= len(c.b) {
+			copy(job.CfgHash[:], c.b[c.off:])
+			c.off += sha256.Size
+		} else {
+			c.fail("cfg_hash")
+		}
+	default:
+		if c.err == nil {
+			return nil, false, fmt.Errorf("shard: bad cfg_hash flag %d", flag)
+		}
+	}
+	job.Cfg = c.blob("cfg")
+	nTrees := int(c.u32("tree count"))
+	if c.err == nil && nTrees > len(c.b)-c.off {
+		c.fail("tree count")
+	}
+	if c.err == nil && nTrees > 0 {
+		job.Trees = make([][]byte, nTrees)
+		for i := range job.Trees {
+			job.Trees[i] = c.blob("tree")
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, false, err
+	}
+	return job, false, nil
+}
+
+// flagByte reads the single-byte flag used for optional fields.
+func (c *cursor) flagByte(what string) byte {
+	if c.err != nil || c.off+1 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+// Result flag bits.
+const (
+	resultFlagCached  = 1 << 0
+	resultFlagNeedCfg = 1 << 1
+)
+
+// EncodeResult renders a result in the binary codec (or the JSON
+// reference codec when binaryCodec is false).
+func EncodeResult(res *Result, binaryCodec bool) ([]byte, error) {
+	if !binaryCodec {
+		return marshalJSONFrame(res)
+	}
+	b := make([]byte, 0, 64+8*len(res.Scores)+len(res.Err))
+	b = binary.LittleEndian.AppendUint32(b, resultMagic)
+	b = binary.LittleEndian.AppendUint64(b, res.ID)
+	var flags byte
+	if res.Cached {
+		flags |= resultFlagCached
+	}
+	if res.NeedCfg {
+		flags |= resultFlagNeedCfg
+	}
+	b = append(b, flags)
+	b = appendBlob(b, []byte(res.Err))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(res.Scores)))
+	for _, s := range res.Scores {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(res.Usage)))
+	for _, uf := range res.Usage {
+		if len(uf.Sum) != len(uf.Count) {
+			return nil, fmt.Errorf("shard: usage frame k=%d has %d sums for %d counts", uf.K, len(uf.Sum), len(uf.Count))
+		}
+		b = appendI64(b, int64(uf.K))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(uf.Count)))
+		for _, n := range uf.Count {
+			b = appendI64(b, n)
+		}
+		for _, row := range uf.Sum {
+			for _, v := range row {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+			}
+		}
+	}
+	return b, nil
+}
+
+// DecodeResult decodes a result payload in either codec.
+func DecodeResult(payload []byte) (*Result, error) {
+	if IsJSONPayload(payload) {
+		res := &Result{}
+		return res, unmarshalJSONFrame(payload, res)
+	}
+	c := &cursor{b: payload}
+	if m := c.u32("magic"); c.err == nil && m != resultMagic {
+		return nil, fmt.Errorf("shard: bad result magic %#x", m)
+	}
+	res := &Result{}
+	res.ID = c.u64("id")
+	flags := c.flagByte("flags")
+	res.Cached = flags&resultFlagCached != 0
+	res.NeedCfg = flags&resultFlagNeedCfg != 0
+	res.Err = string(c.blob("err"))
+	nScores := int(c.u32("score count"))
+	if c.err == nil && nScores > (len(c.b)-c.off)/8 {
+		c.fail("score count")
+	}
+	if c.err == nil && nScores > 0 {
+		res.Scores = make([]float64, nScores)
+		for i := range res.Scores {
+			res.Scores[i] = math.Float64frombits(c.u64("score"))
+		}
+	}
+	nFrames := int(c.u32("usage count"))
+	if c.err == nil && nFrames > len(c.b)-c.off {
+		c.fail("usage count")
+	}
+	for i := 0; i < nFrames && c.err == nil; i++ {
+		uf := UsageFrame{K: int(c.i64("usage k"))}
+		nw := int(c.u32("whisker count"))
+		if c.err == nil && nw > (len(c.b)-c.off)/8 {
+			c.fail("whisker count")
+			break
+		}
+		if nw > 0 {
+			uf.Count = make([]int64, nw)
+			for j := range uf.Count {
+				uf.Count[j] = c.i64("usage counts")
+			}
+			uf.Sum = make([][remycc.NumSignals]float64, nw)
+			for j := range uf.Sum {
+				for d := 0; d < remycc.NumSignals; d++ {
+					uf.Sum[j][d] = math.Float64frombits(c.u64("usage sums"))
+				}
+			}
+		}
+		res.Usage = append(res.Usage, uf)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteJob writes one job frame in the chosen codec.
+func WriteJob(w io.Writer, job *Job, binaryCodec bool) error {
+	payload, err := EncodeJob(job, binaryCodec)
+	if err != nil {
+		return err
+	}
+	return WritePayload(w, payload)
+}
+
+// WriteResult writes one result frame in the chosen codec.
+func WriteResult(w io.Writer, res *Result, binaryCodec bool) error {
+	payload, err := EncodeResult(res, binaryCodec)
+	if err != nil {
+		return err
+	}
+	return WritePayload(w, payload)
+}
+
+// ReadResult reads one result frame in either codec.
+func ReadResult(r io.Reader) (*Result, error) {
+	payload, err := ReadPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResult(payload)
+}
+
+// cfgSent tracks which config blobs a connection's peer already holds,
+// so a lane ships each config once and references it by hash after.
+type cfgSent map[Hash]bool
+
+// prep returns the job as the wire should carry it: the first time a
+// hash crosses this connection (or on a forced refetch) the config
+// rides inline; after that the job goes out hash-only.
+func (s cfgSent) prep(job *Job, force bool) *Job {
+	if job.CfgHash.IsZero() || len(job.Cfg) == 0 {
+		return job
+	}
+	if force || !s[job.CfgHash] {
+		s[job.CfgHash] = true
+		return job
+	}
+	stripped := *job
+	stripped.Cfg = nil
+	return &stripped
+}
+
+// DefaultConfigEntries bounds a worker's config store. Configs are a
+// few kilobytes and one trainer ships exactly one, so the bound exists
+// only so a long-lived daemon serving many coordinators cannot grow
+// without limit.
+const DefaultConfigEntries = 16
+
+// ConfigStore is a worker-side content-addressed store of training
+// config blobs, filled by inline-config jobs and consulted for
+// hash-only ones. A miss is not an error: the worker answers
+// Result.NeedCfg and the coordinator resends the job with the config
+// inline (the refetch path reconnected or restarted workers rely on).
+type ConfigStore struct {
+	mu    sync.Mutex
+	max   int
+	cfgs  map[Hash][]byte
+	order []Hash
+}
+
+// NewConfigStore returns a store bounded to max configs (or
+// DefaultConfigEntries when max <= 0), evicting oldest-first.
+func NewConfigStore(max int) *ConfigStore {
+	if max <= 0 {
+		max = DefaultConfigEntries
+	}
+	return &ConfigStore{max: max, cfgs: make(map[Hash][]byte)}
+}
+
+// Put stores cfg under h after verifying the content address — a
+// mismatched blob means wire corruption and must not poison the store.
+func (s *ConfigStore) Put(h Hash, cfg []byte) error {
+	if got := HashBytes(cfg); got != h {
+		return fmt.Errorf("shard: config blob hashes to %s, job says %s", got, h)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cfgs[h]; ok {
+		return nil
+	}
+	for len(s.order) >= s.max {
+		delete(s.cfgs, s.order[0])
+		s.order = s.order[1:]
+	}
+	stored := make([]byte, len(cfg))
+	copy(stored, cfg)
+	s.cfgs[h] = stored
+	s.order = append(s.order, h)
+	return nil
+}
+
+// Get returns the stored config for h, if present.
+func (s *ConfigStore) Get(h Hash) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg, ok := s.cfgs[h]
+	return cfg, ok
+}
+
+// Flush drops every stored config, forcing the NeedCfg refetch path on
+// the next hash-only job — the differential tests use it to simulate a
+// worker that lost its store mid-generation.
+func (s *ConfigStore) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfgs = make(map[Hash][]byte)
+	s.order = nil
+}

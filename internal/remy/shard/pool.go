@@ -19,27 +19,54 @@ import (
 // reconnect-with-requeue path), so a Transport must be safe to dial
 // repeatedly.
 type Transport interface {
-	// Dial establishes one worker connection ready for job round-trips.
+	// Dial establishes one worker connection ready for job traffic.
 	Dial() (Conn, error)
 	// Name identifies the worker for diagnostics (an argv, an address).
 	Name() string
 }
 
-// Conn is one live worker connection. A Conn is used by a single lane
-// goroutine at a time; implementations need not be concurrency-safe
-// beyond surviving Close during a pending RoundTrip.
+// Conn is one live worker connection carrying a pipelined job stream:
+// the lane may Send several jobs before the first Recv, and the worker
+// answers in its own order (in practice FIFO — workers are serial). A
+// Conn is used by a single lane goroutine at a time; implementations
+// need not be concurrency-safe beyond surviving Close during a pending
+// Recv.
 type Conn interface {
-	// RoundTrip sends a job and awaits its result. timeout, when
-	// positive, bounds the wait: for process connections it caps the
-	// whole round-trip; for transports with heartbeats (shardnet) it
-	// caps the silence between frames, so long jobs survive as long as
-	// the worker keeps proving liveness. An expired or failed
-	// round-trip leaves the connection unusable — the pool discards it
-	// and redials.
-	RoundTrip(job *Job, timeout time.Duration) (*Result, error)
+	// Send ships one job frame. forceCfg makes a hash-bearing job
+	// carry its config inline even if this connection shipped that
+	// config before — the NeedCfg refetch path. A failed Send leaves
+	// the connection unusable.
+	Send(job *Job, forceCfg bool) error
+	// Recv awaits the next result frame. timeout, when positive,
+	// bounds the wait: for process connections it caps the whole wait;
+	// for transports with heartbeats (shardnet) it caps the silence
+	// between frames, so long jobs survive as long as the worker keeps
+	// proving liveness. An expired or failed Recv leaves the
+	// connection unusable — the pool discards it and redials.
+	Recv(timeout time.Duration) (*Result, error)
 	// Close tears the connection down, releasing its resources and
-	// failing any pending RoundTrip.
+	// failing any pending Recv.
 	Close()
+}
+
+// RoundTrip sends one job and awaits its result, transparently
+// resolving one NeedCfg refetch — the lockstep convenience the tests
+// and one-shot tools use; the pool itself pipelines.
+func RoundTrip(c Conn, job *Job, timeout time.Duration) (*Result, error) {
+	if err := c.Send(job, false); err != nil {
+		return nil, err
+	}
+	res, err := c.Recv(timeout)
+	if err != nil {
+		return nil, err
+	}
+	if res.NeedCfg && res.ID == job.ID {
+		if err := c.Send(job, true); err != nil {
+			return nil, err
+		}
+		return c.Recv(timeout)
+	}
+	return res, nil
 }
 
 // ProcTransport spawns a local worker process per connection, wired
@@ -48,6 +75,9 @@ type Conn interface {
 type ProcTransport struct {
 	// Argv is the worker command (e.g. {"remyshard"}).
 	Argv []string
+	// ForceJSON pins connections to the JSON reference codec instead
+	// of the binary one; the codec differential tests drive both.
+	ForceJSON bool
 }
 
 // Dial spawns one worker process.
@@ -65,7 +95,10 @@ func (t *ProcTransport) Dial() (Conn, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	return &procConn{cmd: cmd, in: in, out: bufio.NewReader(out)}, nil
+	return &procConn{
+		cmd: cmd, in: in, out: bufio.NewReader(out),
+		binary: !t.ForceJSON, sent: cfgSent{},
+	}, nil
 }
 
 // Name identifies the transport by its command.
@@ -73,27 +106,27 @@ func (t *ProcTransport) Name() string { return t.Argv[0] }
 
 // procConn is one live worker process and its pipes.
 type procConn struct {
-	cmd *exec.Cmd
-	in  io.WriteCloser
-	out *bufio.Reader
+	cmd    *exec.Cmd
+	in     io.WriteCloser
+	out    *bufio.Reader
+	binary bool
+	sent   cfgSent
 }
 
-// RoundTrip sends a job to the worker process and reads its result,
-// enforcing the timeout by killing the process (which errors the
-// pending read).
-func (c *procConn) RoundTrip(job *Job, timeout time.Duration) (*Result, error) {
+// Send ships one job frame to the worker process, hash-only once the
+// config has crossed this connection.
+func (c *procConn) Send(job *Job, forceCfg bool) error {
+	return WriteJob(c.in, c.sent.prep(job, forceCfg), c.binary)
+}
+
+// Recv reads the worker's next result, enforcing the timeout by
+// killing the process (which errors the pending read).
+func (c *procConn) Recv(timeout time.Duration) (*Result, error) {
 	if timeout > 0 {
 		timer := time.AfterFunc(timeout, func() { c.cmd.Process.Kill() })
 		defer timer.Stop()
 	}
-	if err := WriteFrame(c.in, job); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	if err := ReadFrame(c.out, res); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return ReadResult(c.out)
 }
 
 // Close kills and reaps the worker process.
@@ -109,11 +142,13 @@ func (c *procConn) Close() {
 // of: a worker process (Cmd set), an in-process fallback call (Cmd
 // empty — the local mode cmd/remytrain uses when no -shard-cmd is
 // given), or a remote worker reached through an entry of Transports
-// (the TCP lanes `remytrain -remotes` adds). A lane whose worker
-// crashes, writes garbage, or exceeds Timeout is reconnected and its
-// job requeued for any other lane; after MaxAttempts worker deliveries
-// the job is evaluated in-process, so a batch always completes with
-// the same bits.
+// (the TCP lanes `remytrain -remotes` adds). Worker lanes pipeline:
+// each keeps up to Window jobs in flight, so a worker starts its next
+// job without waiting for the coordinator to read the last result. A
+// lane whose worker crashes, writes garbage, or exceeds Timeout is
+// reconnected and its whole in-flight window requeued for any other
+// lane; after MaxAttempts worker deliveries a job is evaluated
+// in-process, so a batch always completes with the same bits.
 type Pool struct {
 	// Lanes is the number of local lanes: worker processes when Cmd is
 	// set, in-process fallback lanes otherwise. With Transports present
@@ -129,14 +164,21 @@ type Pool struct {
 	// Fallback evaluates a job in-process: the local mode's evaluator
 	// and the requeue path of last resort. Required.
 	Fallback Eval
-	// Timeout bounds one job round-trip on a worker lane (for
+	// Timeout bounds one result wait on a worker lane (for
 	// heartbeat-capable transports: the silence between frames); 0
-	// means no limit. An expired job's connection is torn down and the
-	// job requeued.
+	// means no limit. An expired wait tears the connection down and
+	// requeues the lane's window.
 	Timeout time.Duration
 	// MaxAttempts is the number of worker deliveries per job before
 	// the pool falls back to in-process evaluation (default 3).
 	MaxAttempts int
+	// Window is the number of jobs a worker lane keeps in flight
+	// (default 2): one evaluating, one queued behind it, so the worker
+	// never idles waiting for the next frame.
+	Window int
+	// ForceJSON pins local process lanes to the JSON reference codec;
+	// remote transports carry their own flag.
+	ForceJSON bool
 
 	lanes []*lane // built by Start; nil entries never occur
 }
@@ -149,9 +191,21 @@ type lane struct {
 }
 
 // NumLanes reports the pool's total lane count (local + transports) as
-// resolved by Start; callers use it to slice batches into one job per
-// lane.
+// resolved by Start; callers use it to slice batches.
 func (p *Pool) NumLanes() int { return len(p.lanes) }
+
+// Depth reports how many jobs per lane a batch should provide to keep
+// the pipelines full: Window (as resolved by Start) when any lane has
+// a worker connection, 1 for pure in-process pools, where pipelining
+// buys nothing and finer slicing only adds merge overhead.
+func (p *Pool) Depth() int {
+	for _, l := range p.lanes {
+		if l.transport != nil {
+			return p.Window
+		}
+	}
+	return 1
+}
 
 // Start establishes every lane's worker connection (a no-op for
 // in-process lanes). A spawn or dial failure stops the pool and is
@@ -160,6 +214,9 @@ func (p *Pool) NumLanes() int { return len(p.lanes) }
 func (p *Pool) Start() error {
 	if p.MaxAttempts <= 0 {
 		p.MaxAttempts = 3
+	}
+	if p.Window <= 0 {
+		p.Window = 2
 	}
 	if p.Fallback == nil {
 		return fmt.Errorf("shard: pool needs a Fallback evaluator")
@@ -174,7 +231,7 @@ func (p *Pool) Start() error {
 	}
 	var localT Transport
 	if len(p.Cmd) > 0 {
-		localT = &ProcTransport{Argv: p.Cmd}
+		localT = &ProcTransport{Argv: p.Cmd, ForceJSON: p.ForceJSON}
 	}
 	p.lanes = make([]*lane, 0, local+len(p.Transports))
 	for i := 0; i < local; i++ {
@@ -212,8 +269,8 @@ func (p *Pool) Close() {
 // Do evaluates a batch of jobs and returns their results in batch
 // order. It blocks until every job has a result (or a deterministic
 // evaluation error surfaces). Jobs are handed to free lanes as they
-// come; crashes and timeouts requeue the job, so completion order
-// never affects the merged output.
+// come; crashes and timeouts requeue the affected window, so
+// completion order never affects the merged output.
 func (p *Pool) Do(jobs []*Job) ([]*Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
@@ -261,14 +318,7 @@ func (p *Pool) Do(jobs []*Job) ([]*Result, error) {
 	for _, l := range p.lanes {
 		go func(l *lane) {
 			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					return
-				case job := <-queue:
-					p.runJob(l, job, deliver, queue)
-				}
-			}
+			p.runLane(l, queue, done, deliver)
 		}(l)
 	}
 	<-done
@@ -281,35 +331,120 @@ func (p *Pool) Do(jobs []*Job) ([]*Result, error) {
 	return results, nil
 }
 
-// runJob executes one job on a lane: in-process when the lane is local
-// or dead or the job has exhausted its worker attempts, otherwise a
-// worker round-trip with reconnect-and-requeue on failure. queue has
-// capacity for every job in the batch, so requeueing never blocks.
-func (p *Pool) runJob(l *lane, job *Job, deliver func(*Job, *Result), queue chan<- *Job) {
-	if l.conn == nil || job.attempts >= p.MaxAttempts {
-		res, err := p.Fallback(job)
-		if err != nil {
-			deliver(job, &Result{ID: job.ID, Err: err.Error()})
+// runLane drives one lane until the batch finishes: in-process
+// evaluation for local or dead lanes, a pipelined window for connected
+// worker lanes (re-entered after every reconnect).
+func (p *Pool) runLane(l *lane, queue chan *Job, done <-chan struct{}, deliver func(*Job, *Result)) {
+	for {
+		if l.conn == nil {
+			select {
+			case <-done:
+				return
+			case job := <-queue:
+				p.fallbackJob(job, deliver)
+			}
+			continue
+		}
+		if !p.runWindow(l, queue, done, deliver) {
 			return
 		}
-		res.ID = job.ID
-		deliver(job, res)
-		return
 	}
-	job.attempts++
-	res, err := l.conn.RoundTrip(job, p.Timeout)
-	if err == nil && res.ID != job.ID {
-		err = fmt.Errorf("shard: worker answered job %d with result %d", job.ID, res.ID)
-	}
+}
+
+// fallbackJob evaluates one job in-process and delivers it.
+func (p *Pool) fallbackJob(job *Job, deliver func(*Job, *Result)) {
+	res, err := p.Fallback(job)
 	if err != nil {
-		// The worker crashed, timed out, or spoke garbage: reconnect
-		// the lane and let any lane retry the job. Evaluation is a pure
-		// function of the job, so the retry is bit-identical.
-		p.reconnect(l)
-		queue <- job
+		deliver(job, &Result{ID: job.ID, Err: err.Error()})
 		return
 	}
+	res.ID = job.ID
 	deliver(job, res)
+}
+
+// runWindow runs one connection's pipelined job stream: keep up to
+// Window jobs in flight, deliver results as they land, and on any
+// transport fault requeue the entire in-flight window and redial.
+// Evaluation is a pure function of the job, so requeued retries are
+// bit-identical wherever they land. It returns false when the batch is
+// done (the lane should exit) and true when the lane should re-enter
+// with a fresh connection state.
+func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver func(*Job, *Result)) bool {
+	window := make(map[uint64]*Job, p.Window)
+	refetched := make(map[uint64]bool)
+	// abort returns every undelivered job to the shared queue (its
+	// capacity covers the whole batch, so this never blocks) and
+	// replaces the connection.
+	abort := func(failed *Job) {
+		if failed != nil {
+			queue <- failed
+		}
+		for _, job := range window {
+			queue <- job
+		}
+		p.reconnect(l)
+	}
+	for {
+		// Top up the window: block for the first job, opportunistically
+		// take more while in-flight slots remain.
+		for len(window) < p.Window {
+			var job *Job
+			if len(window) == 0 {
+				select {
+				case <-done:
+					return false
+				case job = <-queue:
+				}
+			} else {
+				select {
+				case job = <-queue:
+				default:
+				}
+				if job == nil {
+					break
+				}
+			}
+			if job.attempts >= p.MaxAttempts {
+				p.fallbackJob(job, deliver)
+				continue
+			}
+			job.attempts++
+			if err := l.conn.Send(job, false); err != nil {
+				abort(job)
+				return true
+			}
+			window[job.ID] = job
+		}
+		res, err := l.conn.Recv(p.Timeout)
+		if err != nil {
+			abort(nil)
+			return true
+		}
+		job, ok := window[res.ID]
+		if !ok {
+			// A result for a job this window never sent: the worker is
+			// answering garbage IDs — treat the connection as broken.
+			abort(nil)
+			return true
+		}
+		if res.NeedCfg {
+			// Config-store miss: resend with the blob inline (not a
+			// delivery attempt — nothing was evaluated). A second miss
+			// for the same job means the worker cannot hold a config.
+			if refetched[res.ID] {
+				abort(nil)
+				return true
+			}
+			refetched[res.ID] = true
+			if err := l.conn.Send(job, true); err != nil {
+				abort(nil)
+				return true
+			}
+			continue
+		}
+		delete(window, res.ID)
+		deliver(job, res)
+	}
 }
 
 // reconnect replaces a lane's connection after a failure. If the

@@ -22,7 +22,6 @@ package shard
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,7 +35,11 @@ import (
 // training configs: Cfg's topology field became a declarative graph
 // description (kind/hops/cross or explicit edges and routes) instead of
 // a two-member enum, so jobs ship arbitrary multi-hop topologies.
-const ProtocolVersion = 2
+// Version 3 added the binary codec (codec.go) beside the JSON reference
+// codec, config-by-hash shipping (Job.CfgHash, Result.NeedCfg), and
+// pipelined dispatch; a frame's payload declares its codec, so both
+// interoperate on one connection.
+const ProtocolVersion = 3
 
 // maxFrame bounds one wire frame. Jobs are dominated by candidate
 // trees (~100 bytes per whisker), so real frames are kilobytes; the cap
@@ -76,8 +79,15 @@ type Job struct {
 	// encoded with remycc's stable binary codec.
 	Trees [][]byte `json:"trees"`
 	// Cfg is the training configuration, owned (and round-tripped) by
-	// internal/remy; shard treats it as opaque.
-	Cfg json.RawMessage `json:"cfg"`
+	// internal/remy; shard treats it as opaque. With CfgHash set, Cfg
+	// may be empty on the wire: a connection ships the blob once, then
+	// references it by hash, and workers resolve hash-only jobs from
+	// their ConfigStore (answering NeedCfg on a miss).
+	Cfg json.RawMessage `json:"cfg,omitempty"`
+	// CfgHash is the SHA-256 content address of Cfg. Zero means the
+	// config always rides inline (the pre-v3 behavior, kept for
+	// hand-built jobs and the reference path).
+	CfgHash Hash `json:"cfg_hash"`
 
 	// index is the job's position in its batch (coordinator side only).
 	index int
@@ -100,12 +110,18 @@ type Result struct {
 	// tree). It is a deterministic error, not a crash: the pool
 	// surfaces it instead of requeueing.
 	Err string `json:"err,omitempty"`
-	// Cached marks a result served verbatim from a worker-side
-	// content-addressed cache (internal/remy/shardnet) instead of a
-	// fresh evaluation. Purely informational: cached bytes are the
-	// stored bytes of an identical earlier job, so scores are
-	// unaffected; the coordinator tallies it for the hit-rate report.
+	// Cached marks a result assembled entirely from a worker-side
+	// content-addressed slot cache (internal/remy/shardnet) instead of
+	// fresh evaluations. Purely informational: cached entries are the
+	// stored bits of identical earlier (config, draw, tree) slots, so
+	// scores are unaffected; the coordinator tallies it for the
+	// hit-rate report.
 	Cached bool `json:"cached,omitempty"`
+	// NeedCfg reports a config-store miss on a hash-only job: the
+	// worker does not hold CfgHash's blob and evaluated nothing. The
+	// pool resends the job with the config inline — a refetch, not a
+	// failure, so it never consumes a delivery attempt.
+	NeedCfg bool `json:"need_cfg,omitempty"`
 }
 
 // UsageFrame is one replica's whisker usage of the UsageFor tree.
@@ -123,47 +139,44 @@ func (f *UsageFrame) Stats() *remycc.UsageStats {
 	return &remycc.UsageStats{Count: f.Count, Sum: f.Sum}
 }
 
-// WriteFrame writes v as one length-prefixed JSON frame: a 4-byte
-// big-endian payload length followed by the payload, issued as a
-// single Write so frames never interleave.
-func WriteFrame(w io.Writer, v any) error {
+// marshalJSONFrame renders v as a JSON frame payload.
+func marshalJSONFrame(v any) ([]byte, error) {
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("shard: marshal frame: %w", err)
+		return nil, fmt.Errorf("shard: marshal frame: %w", err)
 	}
-	if len(payload) > maxFrame {
-		return fmt.Errorf("shard: frame of %d bytes exceeds limit", len(payload))
-	}
-	buf := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
-	_, err = w.Write(buf)
-	return err
+	return payload, nil
 }
 
-// ReadFrame reads one frame written by WriteFrame into v. It returns
-// io.EOF unwrapped when the stream ends cleanly between frames, so
-// worker loops can distinguish shutdown from truncation.
-func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("shard: read frame header: %w", err)
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return fmt.Errorf("shard: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("shard: read frame payload: %w", err)
-	}
+// unmarshalJSONFrame decodes a JSON frame payload into v.
+func unmarshalJSONFrame(payload []byte, v any) error {
 	if err := json.Unmarshal(payload, v); err != nil {
 		return fmt.Errorf("shard: decode frame: %w", err)
 	}
 	return nil
+}
+
+// WriteFrame writes v as one length-prefixed JSON frame — the
+// reference codec, and the only one for control frames (handshakes,
+// heartbeats). Jobs and results normally cross in the binary codec via
+// WriteJob/WriteResult.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := marshalJSONFrame(v)
+	if err != nil {
+		return err
+	}
+	return WritePayload(w, payload)
+}
+
+// ReadFrame reads one JSON frame written by WriteFrame into v. It
+// returns io.EOF unwrapped when the stream ends cleanly between frames,
+// so worker loops can distinguish shutdown from truncation.
+func ReadFrame(r io.Reader, v any) error {
+	payload, err := ReadPayload(r)
+	if err != nil {
+		return err
+	}
+	return unmarshalJSONFrame(payload, v)
 }
 
 // Eval evaluates one job. internal/remy provides the real one; tests
@@ -184,36 +197,70 @@ type ServeOpts struct {
 }
 
 // Serve runs a worker loop on r/w: read a Job frame, evaluate it,
-// write the Result frame, until r reaches EOF. Evaluation errors are
-// reported to the coordinator as Result.Err; only transport errors
-// (and ErrDied) are returned.
+// write the Result frame in the codec the job arrived in, until r
+// reaches EOF. Evaluation errors are reported to the coordinator as
+// Result.Err; only transport errors (and ErrDied) are returned.
+// Inline configs of hash-bearing jobs are retained in a per-loop
+// ConfigStore so later hash-only jobs resolve locally.
 func Serve(r io.Reader, w io.Writer, eval Eval, opts ServeOpts) error {
 	br := bufio.NewReader(r)
+	store := NewConfigStore(0)
 	served := 0
 	for {
-		job := &Job{}
-		if err := ReadFrame(br, job); err != nil {
+		payload, err := ReadPayload(br)
+		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
+		job, jsonCodec, err := DecodeJob(payload)
+		if err != nil {
+			return err
+		}
 		if opts.DieAfter > 0 && served >= opts.DieAfter {
 			return ErrDied
 		}
-		res := serveOne(job, eval)
-		if err := WriteFrame(w, res); err != nil {
+		res := serveOne(job, eval, store)
+		if err := WriteResult(w, res, !jsonCodec); err != nil {
 			return err
 		}
-		served++
+		if !res.NeedCfg {
+			served++
+		}
 	}
 }
 
-// serveOne evaluates one job, converting version mismatches and eval
-// failures into error Results.
-func serveOne(job *Job, eval Eval) *Result {
+// ResolveConfig fills in a hash-only job's Cfg from the store (or
+// stores an inline one). It returns a NeedCfg Result on a store miss
+// and an error Result on a corrupt blob; nil means the job's config is
+// ready for evaluation.
+func ResolveConfig(job *Job, store *ConfigStore) *Result {
+	if job.CfgHash.IsZero() {
+		return nil
+	}
+	if len(job.Cfg) > 0 {
+		if err := store.Put(job.CfgHash, job.Cfg); err != nil {
+			return &Result{ID: job.ID, Err: err.Error()}
+		}
+		return nil
+	}
+	cfg, ok := store.Get(job.CfgHash)
+	if !ok {
+		return &Result{ID: job.ID, NeedCfg: true}
+	}
+	job.Cfg = cfg
+	return nil
+}
+
+// serveOne evaluates one job, converting version mismatches, config
+// misses, and eval failures into protocol Results.
+func serveOne(job *Job, eval Eval, store *ConfigStore) *Result {
 	if job.Version != ProtocolVersion {
 		return &Result{ID: job.ID, Err: fmt.Sprintf("protocol version %d, worker speaks %d", job.Version, ProtocolVersion)}
+	}
+	if res := ResolveConfig(job, store); res != nil {
+		return res
 	}
 	res, err := eval(job)
 	if err != nil {

@@ -46,7 +46,7 @@ func (t *Trainer) startShards(cfg Config) (stop func()) {
 	}
 	transports := make([]shard.Transport, len(t.Remotes))
 	for i, addr := range t.Remotes {
-		transports[i] = &shardnet.Dialer{Addr: addr}
+		transports[i] = &shardnet.Dialer{Addr: addr, ForceJSON: t.ShardJSON}
 	}
 	pool := &shard.Pool{
 		Lanes:      lanes,
@@ -54,17 +54,20 @@ func (t *Trainer) startShards(cfg Config) (stop func()) {
 		Transports: transports,
 		Fallback:   EvalShardJob,
 		Timeout:    t.ShardTimeout,
+		ForceJSON:  t.ShardJSON,
 	}
 	if err := pool.Start(); err != nil {
 		panic(fmt.Sprintf("remy: shard pool: %v", err))
 	}
 	t.shards = pool
 	t.shardCfg = cfgJSON
+	t.shardCfgHash = shard.HashBytes(cfgJSON)
 	t.shardResults, t.shardCacheHits = 0, 0
 	return func() {
 		pool.Close()
 		t.shards = nil
 		t.shardCfg = nil
+		t.shardCfgHash = shard.Hash{}
 	}
 }
 
@@ -109,8 +112,17 @@ func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFo
 	if lanes > nSlots {
 		lanes = nSlots
 	}
-	per := (nSlots + lanes - 1) / lanes
-	jobs := make([]*shard.Job, 0, lanes)
+	// Slice the batch to the pool's pipeline depth: Depth jobs per lane
+	// keep every worker's in-flight window full (one job evaluating
+	// while the next is already queued behind it), so workers never
+	// idle on coordinator round-trips. Pure in-process pools report
+	// depth 1 — splitting finer there only adds merge overhead.
+	slices := lanes * t.shards.Depth()
+	if slices > nSlots {
+		slices = nSlots
+	}
+	per := (nSlots + slices - 1) / slices
+	jobs := make([]*shard.Job, 0, slices)
 	for lo := 0; lo < nSlots; lo += per {
 		hi := lo + per
 		if hi > nSlots {
@@ -132,7 +144,12 @@ func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFo
 			Workers:  t.shardWorkers(),
 			TreeLo:   tiLo,
 			Trees:    enc[tiLo : tiHi+1],
-			Cfg:      t.shardCfg,
+			// Every in-memory job keeps the config inline — the
+			// fallback path needs it, and requeues may land on a fresh
+			// connection. Each connection strips it to hash-only after
+			// its first send (see shard.cfgSent).
+			Cfg:     t.shardCfg,
+			CfgHash: t.shardCfgHash,
 		})
 	}
 
@@ -178,29 +195,9 @@ func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFo
 // and scores the job's slot range. It is the pool's in-process
 // fallback and, via ServeShard, the worker binary's evaluator.
 func EvalShardJob(job *shard.Job) (*shard.Result, error) {
-	var cfg Config
-	if err := json.Unmarshal(job.Cfg, &cfg); err != nil {
-		return nil, fmt.Errorf("remy: decode shard config: %w", err)
-	}
-	cfg = cfg.normalize()
-	if job.Replicas != cfg.Replicas {
-		return nil, fmt.Errorf("remy: job says %d replicas, config %d", job.Replicas, cfg.Replicas)
-	}
-	if job.SlotLo < 0 || job.SlotLo >= job.SlotHi {
-		return nil, fmt.Errorf("remy: bad slot range [%d,%d)", job.SlotLo, job.SlotHi)
-	}
-	if job.TreeLo < 0 || job.SlotLo/cfg.Replicas < job.TreeLo ||
-		(job.SlotHi-1)/cfg.Replicas >= job.TreeLo+len(job.Trees) {
-		return nil, fmt.Errorf("remy: slot range [%d,%d) outside trees [%d,%d)",
-			job.SlotLo, job.SlotHi, job.TreeLo, job.TreeLo+len(job.Trees))
-	}
-	trees := make([]*remycc.Tree, len(job.Trees))
-	for i, data := range job.Trees {
-		tree, err := remycc.DecodeTree(data)
-		if err != nil {
-			return nil, fmt.Errorf("remy: decode candidate tree %d: %w", job.TreeLo+i, err)
-		}
-		trees[i] = tree
+	cfg, trees, err := decodeShardJob(job)
+	if err != nil {
+		return nil, err
 	}
 
 	draws := cfg.generationDraws(job.Seed, job.Gen)

@@ -2,34 +2,18 @@ package shardnet
 
 import (
 	"crypto/sha256"
-	"encoding/json"
 	"sync"
-
-	"learnability/internal/remy/shard"
 )
 
-// Key is a content address: the SHA-256 of a job's canonical bytes.
+// Key is a content address: the SHA-256 of an evaluation's canonical
+// input bytes. Since protocol v3 the remy package's CachedShardEval
+// wrapper keys two kinds of entries: whole canonical jobs (the replay
+// tier, for warm reruns of an identical training) and single *slots* —
+// (config hash, scenario-draw fingerprint, candidate tree bytes) — so
+// a hit no longer requires an entire identical job: any evaluation of
+// the same tree under the same draw and config is free, wherever its
+// slot range boundaries fall.
 type Key [sha256.Size]byte
-
-// JobKey computes a job's content address. The canonical form zeroes
-// the two fields that vary between identical evaluations — ID (a
-// per-dispatch serial) and Workers (the worker's internal parallelism,
-// which cannot affect the scores: slots are independent and land in
-// fixed positions) — and marshals the rest as JSON. Everything that
-// *can* influence the result (seed, generation, slot range, candidate
-// tree bytes, UsageFor, the full topology-carrying config) is hashed,
-// so equal keys imply bit-equal results and the cache can return
-// stored bytes verbatim.
-func JobKey(job *shard.Job) (Key, error) {
-	canon := *job
-	canon.ID = 0
-	canon.Workers = 0
-	b, err := json.Marshal(&canon)
-	if err != nil {
-		return Key{}, err
-	}
-	return sha256.Sum256(b), nil
-}
 
 // cacheEntry stores one result's bytes plus their hash, taken at Put
 // time; Get re-verifies it so a corrupted entry can never be served.
@@ -38,11 +22,11 @@ type cacheEntry struct {
 	sum Key
 }
 
-// Cache is a content-addressed result store: job key → marshaled
-// Result bytes (with ID and Cached zeroed). Since a shard job is a
-// pure function of its bytes, a hit returns the stored bytes verbatim
-// and the training output is unchanged by construction — the cache
-// trades CPU for memory, never fidelity.
+// Cache is a content-addressed evaluation store: slot key → encoded
+// slot result bytes (score plus optional usage frame). Since a slot's
+// score is a pure function of the keyed inputs, a hit returns the
+// stored bytes verbatim and the training output is unchanged by
+// construction — the cache trades CPU for memory, never fidelity.
 //
 // Poisoning guard: every entry carries the SHA-256 of its stored
 // result bytes, and Get re-hashes before serving. An entry whose bytes
@@ -70,8 +54,9 @@ type CacheStats struct {
 	Entries int
 }
 
-// DefaultCacheEntries bounds a cache built with NewCache(0). Jobs are
-// kilobytes, so the default is a few hundred MB at worst.
+// DefaultCacheEntries bounds a cache built with NewCache(0). Slot
+// entries are tens to hundreds of bytes, so the default is tens of MB
+// at worst.
 const DefaultCacheEntries = 65536
 
 // NewCache builds a result cache holding at most maxEntries entries

@@ -9,6 +9,11 @@ import (
 	"learnability/internal/remy/shard"
 )
 
+// clientWriteTimeout bounds any single job-frame write, so a vanished
+// worker (network partition, no RST) fails the lane promptly instead
+// of hanging a Send forever.
+const clientWriteTimeout = time.Minute
+
 // Dialer is the client half of the TCP transport: it implements
 // shard.Transport, so `remytrain -remotes host:port,...` plugs worker
 // daemons into the same pool (and the same crash/requeue path) as
@@ -23,6 +28,9 @@ type Dialer struct {
 	// shard.ProtocolVersion); tests override it to exercise the
 	// handshake rejection path.
 	Version int
+	// ForceJSON pins connections to the JSON reference codec instead
+	// of the binary one; the codec differential tests drive both.
+	ForceJSON bool
 }
 
 func (d *Dialer) version() int {
@@ -62,7 +70,12 @@ func (d *Dialer) Dial() (shard.Conn, error) {
 		return nil, fmt.Errorf("shardnet: %s: handshake rejected: %s", d.Addr, w.Reason)
 	}
 	nc.SetDeadline(time.Time{})
-	return &tcpConn{nc: nc, br: br, hb: time.Duration(w.HeartbeatMillis) * time.Millisecond}, nil
+	return &tcpConn{
+		nc: nc, br: br,
+		hb:     time.Duration(w.HeartbeatMillis) * time.Millisecond,
+		binary: !d.ForceJSON,
+		sent:   map[shard.Hash]bool{},
+	}, nil
 }
 
 // Name identifies the transport by its worker address.
@@ -70,31 +83,41 @@ func (d *Dialer) Name() string { return d.Addr }
 
 // tcpConn is one handshaken worker connection.
 type tcpConn struct {
-	nc net.Conn
-	br *bufio.Reader
-	hb time.Duration // the worker's advertised heartbeat interval
+	nc     net.Conn
+	br     *bufio.Reader
+	hb     time.Duration // the worker's advertised heartbeat interval
+	binary bool
+	sent   map[shard.Hash]bool
 }
 
-// RoundTrip sends a job and awaits its result. timeout, when positive,
-// bounds the *silence* between frames: the worker's heartbeats reset
-// it, so a long-running job survives any timeout longer than the
-// heartbeat interval while a dead or hung worker still trips it.
-// A timeout below twice the worker's advertised heartbeat interval is
-// raised to that floor — a silence bound shorter than the heartbeat
-// period cannot distinguish alive from dead and would otherwise make
-// every job on the lane time out, reconnect, and silently fall back
-// in-process.
-func (c *tcpConn) RoundTrip(job *shard.Job, timeout time.Duration) (*shard.Result, error) {
+// Send ships one job frame, config-by-hash once the blob has crossed
+// this connection (forceCfg resends it inline — the refetch path).
+func (c *tcpConn) Send(job *shard.Job, forceCfg bool) error {
+	wire := job
+	if !job.CfgHash.IsZero() && len(job.Cfg) > 0 {
+		if forceCfg || !c.sent[job.CfgHash] {
+			c.sent[job.CfgHash] = true
+		} else {
+			stripped := *job
+			stripped.Cfg = nil
+			wire = &stripped
+		}
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(clientWriteTimeout))
+	return shard.WriteJob(c.nc, wire, c.binary)
+}
+
+// Recv awaits the next result frame. timeout, when positive, bounds
+// the *silence* between frames: the worker's heartbeats reset it, so a
+// long-running job survives any timeout longer than the heartbeat
+// interval while a dead or hung worker still trips it. A timeout below
+// twice the worker's advertised heartbeat interval is raised to that
+// floor — a silence bound shorter than the heartbeat period cannot
+// distinguish alive from dead and would otherwise make every job on
+// the lane time out, reconnect, and silently fall back in-process.
+func (c *tcpConn) Recv(timeout time.Duration) (*shard.Result, error) {
 	if timeout > 0 && timeout < 2*c.hb {
 		timeout = 2 * c.hb
-	}
-	if timeout > 0 {
-		c.nc.SetWriteDeadline(time.Now().Add(timeout))
-	} else {
-		c.nc.SetWriteDeadline(time.Time{})
-	}
-	if err := shard.WriteFrame(c.nc, job); err != nil {
-		return nil, err
 	}
 	for {
 		if timeout > 0 {
@@ -102,26 +125,35 @@ func (c *tcpConn) RoundTrip(job *shard.Job, timeout time.Duration) (*shard.Resul
 		} else {
 			c.nc.SetReadDeadline(time.Time{})
 		}
-		var rep reply
-		if err := shard.ReadFrame(c.br, &rep); err != nil {
+		payload, err := shard.ReadPayload(c.br)
+		if err != nil {
 			return nil, err
 		}
-		switch rep.Kind {
-		case kindHeartbeat:
-			// Liveness only; loop and re-arm the deadline. A stale
-			// heartbeat left over from a previous job is skipped the
-			// same way.
-			continue
-		case kindResult:
-			if rep.Result == nil {
-				return nil, fmt.Errorf("shardnet: result frame without a result")
+		if shard.IsJSONPayload(payload) {
+			// Control frames (heartbeats) and reference-codec results
+			// arrive as JSON replies.
+			var rep reply
+			if err := shard.DecodeJSON(payload, &rep); err != nil {
+				return nil, err
 			}
-			return rep.Result, nil
-		default:
-			return nil, fmt.Errorf("shardnet: unexpected frame kind %q", rep.Kind)
+			switch rep.Kind {
+			case kindHeartbeat:
+				// Liveness only; loop and re-arm the deadline. A stale
+				// heartbeat left over from a previous job is skipped
+				// the same way.
+				continue
+			case kindResult:
+				if rep.Result == nil {
+					return nil, fmt.Errorf("shardnet: result frame without a result")
+				}
+				return rep.Result, nil
+			default:
+				return nil, fmt.Errorf("shardnet: unexpected frame kind %q", rep.Kind)
+			}
 		}
+		return shard.DecodeResult(payload)
 	}
 }
 
-// Close tears the connection down, failing any pending RoundTrip.
+// Close tears the connection down, failing any pending Recv.
 func (c *tcpConn) Close() { c.nc.Close() }

@@ -2,7 +2,6 @@ package shardnet
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -33,12 +32,12 @@ const DefaultHeartbeat = 2 * time.Second
 // cmd/remyshardd hosts one Server per daemon; the differential tests
 // host them in-process on loopback listeners.
 type Server struct {
-	// Eval evaluates one job (remy.EvalShardJob in the daemon).
-	// Required. Evaluation errors travel back as Result.Err.
+	// Eval evaluates one job (remy.CachedShardEval over EvalShardJob
+	// in the daemon — the slot-level result cache lives inside the
+	// evaluator, not the server). Required. Evaluation errors travel
+	// back as Result.Err; fully cache-served jobs arrive with
+	// Result.Cached set and are tallied in Stats().CacheHits.
 	Eval shard.Eval
-	// Cache, when non-nil, stores every successful result by its job's
-	// content address and serves repeats verbatim (Result.Cached set).
-	Cache *Cache
 	// Heartbeat is the liveness interval while a job evaluates
 	// (default DefaultHeartbeat). Clients count any frame as liveness,
 	// so this bounds how stale a live connection can look.
@@ -61,8 +60,23 @@ type Server struct {
 	Log func(format string, args ...any)
 
 	jobs      atomic.Uint64 // jobs answered (cache hits included)
-	cacheHits atomic.Uint64 // jobs answered from the cache
+	cacheHits atomic.Uint64 // jobs answered entirely from the cache
+
+	cfgOnce sync.Once
+	cfgs    *shard.ConfigStore // server-wide, so configs survive reconnects
 }
+
+// configs returns the server's content-addressed config store,
+// creating it on first use.
+func (s *Server) configs() *shard.ConfigStore {
+	s.cfgOnce.Do(func() { s.cfgs = shard.NewConfigStore(0) })
+	return s.cfgs
+}
+
+// FlushConfigs drops every stored config blob, forcing the NeedCfg
+// refetch path on the next hash-only job — the differential tests use
+// it to model a daemon that lost its store mid-generation.
+func (s *Server) FlushConfigs() { s.configs().Flush() }
 
 // ServerStats counts a server's lifetime traffic.
 type ServerStats struct {
@@ -140,6 +154,18 @@ func (sn *session) write(r *reply) error {
 	return shard.WriteFrame(sn.nc, r)
 }
 
+// writeResult sends one result in the codec the job arrived in, under
+// the same lock and deadline as heartbeat writes.
+func (sn *session) writeResult(res *shard.Result, binaryCodec bool) error {
+	if !binaryCodec {
+		return sn.write(&reply{Kind: kindResult, Result: res})
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return shard.WriteResult(sn.nc, res, true)
+}
+
 // ServeConn handshakes and serves one coordinator connection to
 // completion, closing it on return.
 func (s *Server) ServeConn(nc net.Conn) {
@@ -169,8 +195,13 @@ func (s *Server) ServeConn(nc net.Conn) {
 	sn := &session{nc: nc}
 	served := 0
 	for {
-		job := &shard.Job{}
-		if err := shard.ReadFrame(br, job); err != nil {
+		payload, err := shard.ReadPayload(br)
+		if err != nil {
+			s.logf("shardnet: %s: disconnected: %v", nc.RemoteAddr(), err)
+			return
+		}
+		job, jsonCodec, err := shard.DecodeJob(payload)
+		if err != nil {
 			s.logf("shardnet: %s: disconnected: %v", nc.RemoteAddr(), err)
 			return
 		}
@@ -179,43 +210,32 @@ func (s *Server) ServeConn(nc net.Conn) {
 			return
 		}
 		res := s.evalJob(sn, job)
-		if err := sn.write(&reply{Kind: kindResult, Result: res}); err != nil {
+		if err := sn.writeResult(res, !jsonCodec); err != nil {
 			s.logf("shardnet: %s: write result: %v", nc.RemoteAddr(), err)
 			return
+		}
+		if res.NeedCfg {
+			// A config-store miss answers nothing: the coordinator
+			// resends the job inline, and only that delivery counts.
+			continue
 		}
 		served++
 		s.jobs.Add(1)
 	}
 }
 
-// evalJob answers one job: version check, cache lookup, then a fresh
-// evaluation under a heartbeat ticker, storing the result for next
-// time. Failures become error Results, never torn connections — only
-// transport trouble ends a session.
+// evalJob answers one job: version check, config-by-hash resolution
+// against the server-wide store (a miss answers NeedCfg and evaluates
+// nothing), then the evaluator under a heartbeat ticker. Failures
+// become error Results, never torn connections — only transport
+// trouble ends a session.
 func (s *Server) evalJob(sn *session, job *shard.Job) *shard.Result {
 	if job.Version != s.version() {
 		return &shard.Result{ID: job.ID, Err: fmt.Sprintf("protocol version %d, worker speaks %d", job.Version, s.version())}
 	}
-	var key Key
-	if s.Cache != nil {
-		k, err := JobKey(job)
-		if err != nil {
-			return &shard.Result{ID: job.ID, Err: fmt.Sprintf("shardnet: hash job: %v", err)}
-		}
-		key = k
-		if b, ok := s.Cache.Get(key); ok {
-			res := &shard.Result{}
-			if err := json.Unmarshal(b, res); err == nil {
-				res.ID = job.ID
-				res.Cached = true
-				s.cacheHits.Add(1)
-				return res
-			}
-			// An undecodable entry is as good as poisoned; fall
-			// through to a fresh evaluation.
-		}
+	if res := shard.ResolveConfig(job, s.configs()); res != nil {
+		return res
 	}
-
 	if s.Workers > 0 {
 		job.Workers = s.Workers
 	}
@@ -226,13 +246,8 @@ func (s *Server) evalJob(sn *session, job *shard.Job) *shard.Result {
 		return &shard.Result{ID: job.ID, Err: err.Error()}
 	}
 	res.ID = job.ID
-	if s.Cache != nil && res.Err == "" {
-		stored := *res
-		stored.ID = 0
-		stored.Cached = false
-		if b, err := json.Marshal(&stored); err == nil {
-			s.Cache.Put(key, b)
-		}
+	if res.Cached {
+		s.cacheHits.Add(1)
 	}
 	return res
 }

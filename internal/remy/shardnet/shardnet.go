@@ -2,24 +2,27 @@
 // transport for shard.Pool lanes (Dialer, the client half) and the
 // worker daemon's serving loop (Server, hosted by cmd/remyshardd).
 //
-// The wire format reuses the shard package's length-prefixed JSON
-// frames and its topology-carrying v2 Job/Result protocol verbatim —
-// a job crossing TCP is byte-identical to a job crossing a pipe. On
-// top of it, shardnet adds what a network needs and a pipe does not:
+// The wire format reuses the shard package's length-prefixed v3
+// frames — the binary job/result codec with the JSON reference codec
+// beside it, and config-by-hash shipping — verbatim: a job crossing
+// TCP is byte-identical to a job crossing a pipe. On top of it,
+// shardnet adds what a network needs and a pipe does not:
 //
 //   - a connection handshake (magic string + protocol version both
 //     ways) so mismatched builds are rejected before any job is
 //     miscomputed;
 //   - heartbeat frames from the worker while a job evaluates, so the
-//     client's per-job timeout bounds *silence* rather than job
+//     client's per-result timeout bounds *silence* rather than job
 //     length — a slow worker survives, a hung or dead one is detected;
-//   - reconnect-with-requeue: a failed round-trip tears the
-//     connection down and shard.Pool redials and requeues, exactly
-//     like the process-lane crash path;
-//   - a content-addressed result cache on the worker (see Cache):
-//     jobs are pure functions of their bytes, so a repeated candidate
-//     evaluation returns the stored result verbatim, preserving
-//     byte-identical training output by construction.
+//   - reconnect-with-requeue: a failed send or receive tears the
+//     connection down and shard.Pool redials and requeues the lane's
+//     whole in-flight window, exactly like the process-lane crash
+//     path;
+//   - a content-addressed slot cache on the worker (see Cache, fed by
+//     remy.CachedShardEval): a slot's score is a pure function of
+//     (config, draw, tree), so a repeated candidate evaluation returns
+//     the stored bits verbatim, preserving byte-identical training
+//     output by construction.
 //
 // Determinism contract: shardnet changes where and when a job runs,
 // never what it computes. The differential tests in internal/remy

@@ -135,8 +135,7 @@ func TestTruncatedResultFrame(t *testing.T) {
 		var h hello
 		shard.ReadFrame(nc, &h)
 		shard.WriteFrame(nc, &welcome{Magic: Magic, Version: h.Version, OK: true})
-		var job shard.Job
-		shard.ReadFrame(nc, &job)
+		shard.ReadPayload(nc) // consume the job frame (codec irrelevant here)
 		// Promise a 64-byte frame, deliver 4 bytes, hang up.
 		nc.Write([]byte{0, 0, 0, 64, 'x', 'x', 'x', 'x'})
 	}()
@@ -146,7 +145,7 @@ func TestTruncatedResultFrame(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	if _, err := conn.RoundTrip(testJobs(1, 1)[0], time.Second); err == nil {
+	if _, err := shard.RoundTrip(conn, testJobs(1, 1)[0], time.Second); err == nil {
 		t.Fatal("RoundTrip returned a result from a truncated frame")
 	}
 }
@@ -176,7 +175,7 @@ func TestTruncatedJobFrame(t *testing.T) {
 		t.Fatalf("dial after truncation: %v", err)
 	}
 	defer conn.Close()
-	res, err := conn.RoundTrip(testJobs(1, 2)[0], time.Second)
+	res, err := shard.RoundTrip(conn, testJobs(1, 2)[0], time.Second)
 	if err != nil || len(res.Scores) != 2 {
 		t.Fatalf("post-truncation round-trip: %v, %+v", err, res)
 	}
@@ -197,7 +196,7 @@ func TestHeartbeatKeepsSlowJobAlive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.RoundTrip(testJobs(1, 1)[0], 100*time.Millisecond); err != nil {
+	if _, err := shard.RoundTrip(conn, testJobs(1, 1)[0], 100*time.Millisecond); err != nil {
 		t.Fatalf("heartbeats did not keep the slow job alive: %v", err)
 	}
 
@@ -217,8 +216,7 @@ func TestHeartbeatKeepsSlowJobAlive(t *testing.T) {
 		var h hello
 		shard.ReadFrame(nc, &h)
 		shard.WriteFrame(nc, &welcome{Magic: Magic, Version: h.Version, OK: true, HeartbeatMillis: 10})
-		var job shard.Job
-		shard.ReadFrame(nc, &job)
+		shard.ReadPayload(nc)       // consume the job frame
 		time.Sleep(5 * time.Second) // hung: never heartbeats, never replies
 	}()
 	conn2, err := (&Dialer{Addr: ln2.Addr().String()}).Dial()
@@ -227,7 +225,7 @@ func TestHeartbeatKeepsSlowJobAlive(t *testing.T) {
 	}
 	defer conn2.Close()
 	start := time.Now()
-	if _, err := conn2.RoundTrip(testJobs(1, 1)[0], 100*time.Millisecond); err == nil {
+	if _, err := shard.RoundTrip(conn2, testJobs(1, 1)[0], 100*time.Millisecond); err == nil {
 		t.Fatal("silent worker did not trip the per-job timeout")
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
@@ -253,7 +251,7 @@ func TestTimeoutClampedToHeartbeat(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.RoundTrip(testJobs(1, 1)[0], 50*time.Millisecond); err != nil {
+	if _, err := shard.RoundTrip(conn, testJobs(1, 1)[0], 50*time.Millisecond); err != nil {
 		t.Fatalf("timeout below the heartbeat interval was not clamped: %v", err)
 	}
 }
@@ -348,13 +346,37 @@ func TestPoolFallsBackWhenWorkerGoneForGood(t *testing.T) {
 	}
 }
 
+// cachingEval wraps an evaluator with a Cache the way
+// remy.CachedShardEval does (keying lives in remy; here a simple
+// slot-range key suffices): hits set Result.Cached, which the server
+// must tally and carry across the wire.
+func cachingEval(c *Cache, evals *atomic.Int64) shard.Eval {
+	return func(job *shard.Job) (*shard.Result, error) {
+		key := Key(sha256.Sum256([]byte{byte(job.SlotLo), byte(job.SlotHi)}))
+		if b, ok := c.Get(key); ok {
+			scores := make([]float64, len(b))
+			for i, v := range b {
+				scores[i] = float64(v)
+			}
+			return &shard.Result{Scores: scores, Cached: true}, nil
+		}
+		evals.Add(1)
+		res, err := echoEval(job)
+		if err != nil {
+			return nil, err
+		}
+		stored := make([]byte, len(res.Scores))
+		for i, s := range res.Scores {
+			stored[i] = byte(s)
+		}
+		c.Put(key, stored)
+		return res, nil
+	}
+}
+
 func TestCacheServesRepeatVerbatim(t *testing.T) {
 	var evals atomic.Int64
-	counting := func(job *shard.Job) (*shard.Result, error) {
-		evals.Add(1)
-		return echoEval(job)
-	}
-	srv := &Server{Eval: counting, Cache: NewCache(0)}
+	srv := &Server{Eval: cachingEval(NewCache(0), &evals)}
 	addr := startServer(t, srv)
 	conn, err := (&Dialer{Addr: addr}).Dial()
 	if err != nil {
@@ -363,7 +385,7 @@ func TestCacheServesRepeatVerbatim(t *testing.T) {
 	defer conn.Close()
 
 	job := testJobs(1, 3)[0]
-	first, err := conn.RoundTrip(job, time.Second)
+	first, err := shard.RoundTrip(conn, job, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +396,7 @@ func TestCacheServesRepeatVerbatim(t *testing.T) {
 	repeat := *job
 	repeat.ID = 999
 	repeat.Workers = 8
-	second, err := conn.RoundTrip(&repeat, time.Second)
+	second, err := shard.RoundTrip(conn, &repeat, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,32 +422,52 @@ func TestCacheServesRepeatVerbatim(t *testing.T) {
 	}
 }
 
-func TestJobKeyCanonicalization(t *testing.T) {
-	a := testJobs(1, 2)[0]
-	b := *a
-	b.ID, b.Workers = 777, 13
-	ka, err := JobKey(a)
+// TestConfigByHashRefetch drives the whole config-by-hash lifecycle on
+// one connection: first job ships the blob inline, the second goes
+// hash-only and resolves from the server's store, and after the store
+// is flushed (a daemon that lost its state) the third job triggers the
+// NeedCfg refetch, which RoundTrip resolves transparently.
+func TestConfigByHashRefetch(t *testing.T) {
+	var sawCfg atomic.Int64
+	checking := func(job *shard.Job) (*shard.Result, error) {
+		if len(job.Cfg) > 0 {
+			sawCfg.Add(1)
+		}
+		return echoEval(job)
+	}
+	srv := &Server{Eval: checking}
+	addr := startServer(t, srv)
+	conn, err := (&Dialer{Addr: addr}).Dial()
 	if err != nil {
 		t.Fatal(err)
 	}
-	kb, err := JobKey(&b)
-	if err != nil {
-		t.Fatal(err)
+	defer conn.Close()
+
+	cfg := []byte(`{"Delta":1}`)
+	jobs := testJobs(3, 2)
+	for _, job := range jobs {
+		job.Cfg = cfg
+		job.CfgHash = shard.HashBytes(cfg)
 	}
-	if ka != kb {
-		t.Fatal("ID/Workers changed the content address")
+	for i, job := range jobs {
+		if i == 2 {
+			srv.FlushConfigs()
+		}
+		res, err := shard.RoundTrip(conn, job, time.Second)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res.ID != job.ID || len(res.Scores) != 2 {
+			t.Fatalf("job %d result = %+v", i, res)
+		}
 	}
-	c := *a
-	c.Gen = a.Gen + 1
-	kc, _ := JobKey(&c)
-	if kc == ka {
-		t.Fatal("different generation hashed to the same content address")
+	// Every evaluation saw a resolved config: inline (jobs 0 and 2,
+	// the latter via refetch) or from the store (job 1).
+	if sawCfg.Load() != 3 {
+		t.Fatalf("evaluator saw a config %d times, want 3", sawCfg.Load())
 	}
-	d := *a
-	d.Seed = a.Seed + 1
-	kd, _ := JobKey(&d)
-	if kd == ka {
-		t.Fatal("different seed hashed to the same content address")
+	if st := srv.Stats(); st.Jobs != 3 {
+		t.Fatalf("server answered %d jobs, want 3 (NeedCfg must not count)", st.Jobs)
 	}
 }
 

@@ -121,19 +121,81 @@ func TestShardedTrainTCPWorkerKilledMidGeneration(t *testing.T) {
 	}
 }
 
+// TestShardedTrainBitEqualJSONCodec pins shard traffic to the
+// length-prefixed JSON reference codec (Trainer.ShardJSON) and
+// requires the same bytes the default binary codec trains: the two
+// codecs must be interchangeable end to end, over TCP workers and
+// worker processes alike.
+func TestShardedTrainBitEqualJSONCodec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	addr, _ := startTCPWorker(t, nil)
+
+	tcp := &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{addr}, ShardJSON: true}
+	if got := trainBytes(t, tcp); !bytes.Equal(got, want) {
+		t.Fatal("JSON-codec TCP training changed the trained tree")
+	}
+
+	t.Setenv("REMY_SHARD_WORKER", "1")
+	proc := &Trainer{Cfg: tinyConfig(), Seed: seed, Shards: 2, ShardCmd: workerCmd(), ShardJSON: true}
+	if got := trainBytes(t, proc); !bytes.Equal(got, want) {
+		t.Fatal("JSON-codec worker-process training changed the trained tree")
+	}
+}
+
+// TestShardedTrainConfigFlushedDuringTraining keeps flushing the
+// worker's config store while training runs, so hash-only jobs keep
+// missing and the pool's NeedCfg refetch path fires throughout the
+// run — mid-generation included. The trained tree must still be
+// byte-equal: a refetch re-ships bits, never changes them.
+func TestShardedTrainConfigFlushedDuringTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	const seed = 7
+	want := inProcessBytes(t, seed)
+	addr, srv := startTCPWorker(t, nil)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				srv.FlushConfigs()
+			}
+		}
+	}()
+
+	tr := &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{addr}, ShardTimeout: time.Minute}
+	if got := trainBytes(t, tr); !bytes.Equal(got, want) {
+		t.Fatal("config-store flushes during training changed the trained tree")
+	}
+	if st := srv.Stats(); st.Jobs == 0 {
+		t.Fatal("no jobs served; the flush test never exercised the worker")
+	}
+}
+
 // TestShardedTrainTCPWarmCacheRerun trains twice against the same
 // worker: the second run is served largely from the worker's
-// content-addressed result cache and must still be byte-equal — cached
-// results are stored bytes of identical jobs, so equality holds by
-// construction, and the coordinator's hit counter proves the cache
-// actually served.
+// content-addressed slot cache and must still be byte-equal — cached
+// entries are the stored bits of identical (config, draw, tree) slots,
+// so equality holds by construction, and the coordinator's hit counter
+// proves the cache actually served.
 func TestShardedTrainTCPWarmCacheRerun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training test")
 	}
 	const seed = 7
 	want := inProcessBytes(t, seed)
-	addr, srv := startTCPWorker(t, &shardnet.Server{Cache: shardnet.NewCache(0)})
+	addr, srv := startTCPWorker(t, &shardnet.Server{Eval: CachedShardEval(shardnet.NewCache(0))})
 
 	cold := &Trainer{Cfg: tinyConfig(), Seed: seed, Remotes: []string{addr}}
 	if got := trainBytes(t, cold); !bytes.Equal(got, want) {

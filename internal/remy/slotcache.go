@@ -1,0 +1,329 @@
+package remy
+
+// Result caching for shard workers, two tiers deep. The replay tier
+// answers an exactly repeated job from its stored result bytes without
+// even decoding it. Underneath, since protocol v3 the cacheable unit
+// is one evaluation *slot* — (config, scenario draw, candidate tree) —
+// rather than a whole job, so a hit no longer requires an identical
+// slot range: any re-evaluation of the same tree under the same draw
+// and config is served from the stored bits, wherever the
+// coordinator's job boundaries fall (ROADMAP item 5). A slot's score
+// is a pure function of the keyed inputs, so cached results preserve
+// byte-identical training output by construction; the differential
+// tests hold warm-cache reruns byte-equal.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy/shard"
+	"learnability/internal/remy/shardnet"
+)
+
+// slotKey is the content address of one evaluation slot. The draw is
+// fingerprinted field-by-field in a fixed-width little-endian layout
+// (floats as IEEE-754 bits, the scenario RNG by its state word, which
+// rng.Stream.State documents as a canonical digest of its seed and
+// split path) rather than by hashing the job: two jobs slicing the
+// same generation differently, or two coordinators shipping the same
+// config, produce identical keys for identical slots.
+func slotKey(cfgHash shard.Hash, d draw, tree []byte) shardnet.Key {
+	h := sha256.New()
+	h.Write(cfgHash[:])
+	var buf [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	put(math.Float64bits(float64(d.linkSpeed)))
+	put(uint64(len(d.linkSpeeds)))
+	for _, r := range d.linkSpeeds {
+		put(math.Float64bits(float64(r)))
+	}
+	put(uint64(d.minRTT))
+	put(uint64(d.nTrainee))
+	put(uint64(d.nAIMD))
+	put(uint64(d.nOther))
+	put(d.seed.State())
+	h.Write(tree)
+	var k shardnet.Key
+	h.Sum(k[:0])
+	return k
+}
+
+// encodeSlotEntry renders one slot's result for the cache: the score's
+// IEEE-754 bits, then a flag byte and — only for slots evaluated under
+// a usage query — the whisker-usage accumulator. Usage is omitted
+// otherwise because it dominates entry size and most slots never need
+// it; a usage-needing lookup that finds a usage-less entry simply
+// misses and re-evaluates.
+func encodeSlotEntry(score float64, u *remycc.UsageStats) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, math.Float64bits(score))
+	if u == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(u.Count)))
+	for _, n := range u.Count {
+		b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	}
+	for _, row := range u.Sum {
+		for _, v := range row {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	}
+	return b
+}
+
+// decodeSlotEntry parses encodeSlotEntry's layout. Errors are treated
+// as misses by the caller; the cache's own hash verification makes
+// them unreachable short of an encoder bug.
+func decodeSlotEntry(b []byte) (float64, *remycc.UsageStats, error) {
+	if len(b) < 9 {
+		return 0, nil, fmt.Errorf("remy: slot entry of %d bytes", len(b))
+	}
+	score := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	switch b[8] {
+	case 0:
+		if len(b) != 9 {
+			return 0, nil, fmt.Errorf("remy: %d trailing bytes in slot entry", len(b)-9)
+		}
+		return score, nil, nil
+	case 1:
+	default:
+		return 0, nil, fmt.Errorf("remy: bad slot-entry usage flag %d", b[8])
+	}
+	rest := b[9:]
+	if len(rest) < 4 {
+		return 0, nil, fmt.Errorf("remy: truncated slot-entry usage header")
+	}
+	nw := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if want := nw * 8 * (1 + remycc.NumSignals); nw < 0 || len(rest) != want {
+		return 0, nil, fmt.Errorf("remy: slot-entry usage of %d bytes for %d whiskers", len(rest), nw)
+	}
+	u := &remycc.UsageStats{
+		Count: make([]int64, nw),
+		Sum:   make([][remycc.NumSignals]float64, nw),
+	}
+	for j := range u.Count {
+		u.Count[j] = int64(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+	}
+	for j := range u.Sum {
+		for d := 0; d < remycc.NumSignals; d++ {
+			u.Sum[j][d] = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+	}
+	return score, u, nil
+}
+
+// decodedConfigEntries bounds the worker-side cache of decoded,
+// normalized training configs. One trainer ships one config, so the
+// bound matters only for a daemon serving many coordinators.
+const decodedConfigEntries = 16
+
+// cfgDecodeCache memoizes config decoding by content hash: every job
+// of a training run carries the same blob (or just its hash), and
+// json.Unmarshal of a topology-bearing config is far from free on the
+// per-job path.
+var cfgDecodeCache struct {
+	mu    sync.Mutex
+	cfgs  map[shard.Hash]*Config
+	order []shard.Hash
+}
+
+// decodeShardConfig returns the job's normalized training config,
+// memoized by content hash so only the first job of a run pays the
+// JSON decode.
+func decodeShardConfig(job *shard.Job) (*Config, error) {
+	h := job.CfgHash
+	if h.IsZero() {
+		h = shard.HashBytes(job.Cfg)
+	}
+	c := &cfgDecodeCache
+	c.mu.Lock()
+	cfg, ok := c.cfgs[h]
+	c.mu.Unlock()
+	if ok {
+		return cfg, nil
+	}
+	var decoded Config
+	if err := json.Unmarshal(job.Cfg, &decoded); err != nil {
+		return nil, fmt.Errorf("remy: decode shard config: %w", err)
+	}
+	decoded = decoded.normalize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached, ok := c.cfgs[h]; ok {
+		return cached, nil
+	}
+	if c.cfgs == nil {
+		c.cfgs = make(map[shard.Hash]*Config)
+	}
+	for len(c.order) >= decodedConfigEntries {
+		delete(c.cfgs, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.cfgs[h] = &decoded
+	c.order = append(c.order, h)
+	return &decoded, nil
+}
+
+// decodeShardJob validates a job and decodes its config (memoized) and
+// candidate trees — the shared front half of EvalShardJob and the
+// caching evaluator.
+func decodeShardJob(job *shard.Job) (*Config, []*remycc.Tree, error) {
+	cfg, err := decodeShardConfig(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	if job.Replicas != cfg.Replicas {
+		return nil, nil, fmt.Errorf("remy: job says %d replicas, config %d", job.Replicas, cfg.Replicas)
+	}
+	if job.SlotLo < 0 || job.SlotLo >= job.SlotHi {
+		return nil, nil, fmt.Errorf("remy: bad slot range [%d,%d)", job.SlotLo, job.SlotHi)
+	}
+	if job.TreeLo < 0 || job.SlotLo/cfg.Replicas < job.TreeLo ||
+		(job.SlotHi-1)/cfg.Replicas >= job.TreeLo+len(job.Trees) {
+		return nil, nil, fmt.Errorf("remy: slot range [%d,%d) outside trees [%d,%d)",
+			job.SlotLo, job.SlotHi, job.TreeLo, job.TreeLo+len(job.Trees))
+	}
+	trees := make([]*remycc.Tree, len(job.Trees))
+	for i, data := range job.Trees {
+		tree, err := remycc.DecodeTree(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("remy: decode candidate tree %d: %w", job.TreeLo+i, err)
+		}
+		trees[i] = tree
+	}
+	return cfg, trees, nil
+}
+
+// jobKey is the whole-job replay address: the job re-encoded in the
+// binary codec with ID and Workers zeroed (the two fields that vary
+// between identical evaluations and provably cannot affect scores) and
+// the config normalized to its hash, so an inline-config job and its
+// hash-only repeat share an address.
+func jobKey(cfgHash shard.Hash, job *shard.Job) (shardnet.Key, bool) {
+	j := *job
+	j.ID = 0
+	j.Workers = 0
+	j.Cfg = nil
+	j.CfgHash = cfgHash
+	b, err := shard.EncodeJob(&j, true)
+	if err != nil {
+		return shardnet.Key{}, false
+	}
+	return sha256.Sum256(b), true
+}
+
+// CachedShardEval wraps EvalShardJob's evaluation in a two-tier
+// content-addressed cache. The fast tier replays whole jobs: an exact
+// repeat (same slot range, trees, config, seed — a warm rerun of the
+// same training) returns the stored result bytes without decoding the
+// job at all. The slot tier underneath looks each slot of a job up
+// independently, so a repeat sliced differently — another lane count,
+// a requeued window — still skips every simulation it has seen; only
+// the misses are simulated, and fresh results feed both tiers.
+// Result.Cached is set only when the whole job was served from cache,
+// which is what Server.Stats().CacheHits counts. A nil cache returns
+// the plain evaluator.
+func CachedShardEval(c *shardnet.Cache) shard.Eval {
+	if c == nil {
+		return EvalShardJob
+	}
+	return func(job *shard.Job) (*shard.Result, error) {
+		cfgHash := job.CfgHash
+		if cfgHash.IsZero() {
+			cfgHash = shard.HashBytes(job.Cfg)
+		}
+		jk, jkOK := jobKey(cfgHash, job)
+		if jkOK {
+			if b, ok := c.Get(jk); ok {
+				if res, err := shard.DecodeResult(b); err == nil {
+					res.ID = job.ID
+					res.Cached = true
+					return res, nil
+				}
+				// An undecodable entry is as good as poisoned; fall
+				// through to the slot tier.
+			}
+		}
+		cfg, trees, err := decodeShardJob(job)
+		if err != nil {
+			return nil, err
+		}
+		draws := cfg.generationDraws(job.Seed, job.Gen)
+		n := job.SlotHi - job.SlotLo
+		res := &shard.Result{Scores: make([]float64, n), Cached: true}
+		usages := make([]*remycc.UsageStats, n)
+		keys := make([]shardnet.Key, n)
+		var miss []int
+		for i := 0; i < n; i++ {
+			slot := job.SlotLo + i
+			ti, k := slot/cfg.Replicas, slot%cfg.Replicas
+			keys[i] = slotKey(cfgHash, draws[k], job.Trees[ti-job.TreeLo])
+			if entry, ok := c.Get(keys[i]); ok {
+				score, u, err := decodeSlotEntry(entry)
+				// A usage query can only be served by an entry that
+				// stored usage; anything else re-evaluates.
+				if err == nil && (ti != job.UsageFor || u != nil) {
+					res.Scores[i] = score
+					if ti == job.UsageFor {
+						usages[i] = u
+					}
+					continue
+				}
+			}
+			miss = append(miss, i)
+		}
+		if len(miss) > 0 {
+			res.Cached = false
+			parallelFor(len(miss), job.Workers, func(j int) {
+				i := miss[j]
+				slot := job.SlotLo + i
+				ti, k := slot/cfg.Replicas, slot%cfg.Replicas
+				u := &remycc.UsageStats{}
+				res.Scores[i] = cfg.evalOne(trees[ti-job.TreeLo], draws[k], u)
+				if ti == job.UsageFor {
+					usages[i] = u
+				}
+			})
+			for _, i := range miss {
+				// Put ignores keys it already holds, so a usage-less
+				// entry is never overwritten by a usage-bearing one (or
+				// vice versa); the stored score bits are identical by
+				// purity either way.
+				c.Put(keys[i], encodeSlotEntry(res.Scores[i], usages[i]))
+			}
+		}
+		// Slots are walked in order, so usage frames come out in
+		// ascending replica order exactly like EvalShardJob's.
+		for i, u := range usages {
+			if u == nil {
+				continue
+			}
+			res.Usage = append(res.Usage, shard.UsageFrame{
+				K:     (job.SlotLo + i) % cfg.Replicas,
+				Count: u.Count,
+				Sum:   u.Sum,
+			})
+		}
+		if jkOK {
+			stored := *res
+			stored.ID = 0
+			stored.Cached = false
+			if b, err := shard.EncodeResult(&stored, true); err == nil {
+				c.Put(jk, b)
+			}
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,127 @@
+package remy
+
+import (
+	"math"
+	"testing"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/remy/shard"
+	"learnability/internal/remy/shardnet"
+	"learnability/internal/rng"
+	"learnability/internal/units"
+)
+
+// Unit tests for the slot-level cache plumbing: key canonicalization
+// (every semantic input must be in the address; nothing else may be)
+// and bit-exact entry round trips.
+
+// slotTestDraw builds a fixed scenario draw; tests mutate one field at
+// a time to prove each is part of the cache key.
+func slotTestDraw() draw {
+	return draw{
+		linkSpeed:  12 * units.Mbps,
+		linkSpeeds: []units.Rate{12 * units.Mbps, 24 * units.Mbps},
+		minRTT:     100 * units.Millisecond,
+		nTrainee:   2,
+		nAIMD:      1,
+		nOther:     3,
+		seed:       rng.New(9).Split("scenario"),
+	}
+}
+
+func TestSlotKeyCanonicalization(t *testing.T) {
+	cfgHash := shard.HashBytes([]byte(`{"Delta":1}`))
+	tree := []byte{1, 2, 3, 4}
+
+	base := slotKey(cfgHash, slotTestDraw(), tree)
+	if again := slotKey(cfgHash, slotTestDraw(), tree); again != base {
+		t.Fatal("identical inputs produced different slot keys")
+	}
+
+	mutations := map[string]func() shardnet.Key{
+		"cfg hash": func() shardnet.Key {
+			return slotKey(shard.HashBytes([]byte(`{"Delta":2}`)), slotTestDraw(), tree)
+		},
+		"tree bytes": func() shardnet.Key {
+			return slotKey(cfgHash, slotTestDraw(), []byte{1, 2, 3, 5})
+		},
+		"link speed": func() shardnet.Key {
+			d := slotTestDraw()
+			d.linkSpeed = 13 * units.Mbps
+			return slotKey(cfgHash, d, tree)
+		},
+		"per-link speeds": func() shardnet.Key {
+			d := slotTestDraw()
+			d.linkSpeeds[1] = 25 * units.Mbps
+			return slotKey(cfgHash, d, tree)
+		},
+		"min RTT": func() shardnet.Key {
+			d := slotTestDraw()
+			d.minRTT = 101 * units.Millisecond
+			return slotKey(cfgHash, d, tree)
+		},
+		"trainee count": func() shardnet.Key {
+			d := slotTestDraw()
+			d.nTrainee = 3
+			return slotKey(cfgHash, d, tree)
+		},
+		"aimd count": func() shardnet.Key {
+			d := slotTestDraw()
+			d.nAIMD = 2
+			return slotKey(cfgHash, d, tree)
+		},
+		"other count": func() shardnet.Key {
+			d := slotTestDraw()
+			d.nOther = 4
+			return slotKey(cfgHash, d, tree)
+		},
+		"rng stream": func() shardnet.Key {
+			d := slotTestDraw()
+			d.seed = rng.New(10).Split("scenario")
+			return slotKey(cfgHash, d, tree)
+		},
+	}
+	for name, mutate := range mutations {
+		if mutate() == base {
+			t.Errorf("changing the %s did not change the slot key (stale cache hits possible)", name)
+		}
+	}
+}
+
+func TestSlotEntryRoundTrip(t *testing.T) {
+	u := &remycc.UsageStats{
+		Count: []int64{3, 0, 7},
+		Sum: [][remycc.NumSignals]float64{
+			{0.5, -1.25, 1e-9, 2},
+			{},
+			{math.Pi, 0, -0.0, 1e300},
+		},
+	}
+	b := encodeSlotEntry(-12.75, u)
+	score, got, err := decodeSlotEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != -12.75 || got == nil {
+		t.Fatalf("decoded score %v, usage %v", score, got)
+	}
+	for i := range u.Count {
+		if got.Count[i] != u.Count[i] || got.Sum[i] != u.Sum[i] {
+			t.Fatalf("whisker %d usage changed in round trip: %v/%v vs %v/%v",
+				i, got.Count[i], got.Sum[i], u.Count[i], u.Sum[i])
+		}
+	}
+
+	b = encodeSlotEntry(2.5, nil)
+	score, got, err = decodeSlotEntry(b)
+	if err != nil || score != 2.5 || got != nil {
+		t.Fatalf("usage-less entry decoded to %v, %v, %v", score, got, err)
+	}
+
+	full := encodeSlotEntry(1, u)
+	for n := 0; n < len(full); n++ {
+		if _, _, err := decodeSlotEntry(full[:n]); err == nil {
+			t.Fatalf("entry truncated to %d/%d bytes decoded cleanly", n, len(full))
+		}
+	}
+}

@@ -45,6 +45,13 @@ func (s *Stream) SplitN(label string, n int) *Stream {
 	return child
 }
 
+// State exposes the stream's current internal state word. Two streams
+// with equal states produce identical draw sequences, so the state is a
+// canonical fingerprint of everything that seeded the stream (root
+// seed, split labels, split indices) — the sharded trainer hashes it
+// into content-addressed cache keys.
+func (s *Stream) State() uint64 { return s.state }
+
 // Uint64 returns the next 64 random bits (SplitMix64).
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -15,6 +15,7 @@ package scenario
 
 import (
 	"fmt"
+	"sync"
 
 	"learnability/internal/cc"
 	"learnability/internal/netsim"
@@ -243,6 +244,13 @@ type Spec struct {
 	// buffer. Results are bit-identical either way; the differential
 	// tests cross-check the two modes.
 	UseMapScoreboard bool
+
+	// DisableWorldPool runs the scenario on a freshly built network
+	// instead of recycling one from the package's world pool. Results
+	// are bit-identical either way; the differential tests cross-check
+	// the two modes. DisablePacketPool implies it (packet-pool
+	// disabling is sticky, so such a world must not be recycled).
+	DisableWorldPool bool
 }
 
 // linkRate resolves link i's rate: the per-link override, then the
@@ -317,12 +325,83 @@ type Result struct {
 // Run executes the scenario and returns one Result per sender, in
 // order. It returns an error for an invalid spec (bad topology,
 // sender-count mismatch, missing seed, ...).
+//
+// Run recycles simulation worlds: the network it executes on is taken
+// from a pool of same-shape networks left by earlier runs (scheduler
+// arena, packet free lists, and per-flow rings already grown to a
+// working set) and re-derived for this spec by topo.BuildInto, then
+// returned to the pool afterwards. Recycling is observably identical
+// to building fresh — the determinism tests cross-check the two modes
+// via Spec.DisableWorldPool.
 func Run(spec Spec) ([]Result, error) {
-	nw, _, lay, err := build(spec)
+	if spec.DisableWorldPool || spec.DisablePacketPool {
+		nw, _, lay, err := build(spec)
+		if err != nil {
+			return nil, err
+		}
+		return finish(spec, lay, nw), nil
+	}
+	lay, queues, flows, err := spec.prep()
 	if err != nil {
 		return nil, err
 	}
-	return finish(spec, lay, nw), nil
+	k := worldKey{links: len(lay.Edges), flows: len(lay.Routes)}
+	nw := takeWorld(k)
+	if nw != nil {
+		if err := topo.BuildInto(nw, lay, queues, flows); err != nil {
+			return nil, err
+		}
+	} else if nw, err = topo.Build(lay, queues, flows); err != nil {
+		return nil, err
+	}
+	spec.applyModes(nw)
+	res := finish(spec, lay, nw)
+	putWorld(k, nw)
+	return res, nil
+}
+
+// worldKey identifies the pool bucket a network can be recycled from:
+// its shape (link and flow counts), the only thing topo.BuildInto
+// cannot re-derive. Everything else — rates, delays, queues,
+// algorithms, workloads, paths — is per-run.
+type worldKey struct{ links, flows int }
+
+// worldPoolCap bounds how many idle networks each shape retains;
+// beyond it, finished worlds are dropped to the garbage collector.
+// Callers run at most a handful of scenarios concurrently per shape
+// (the trainer's evaluation workers), so a small per-shape stack
+// captures the reuse without hoarding arenas.
+const worldPoolCap = 8
+
+var (
+	worldMu   sync.Mutex
+	worldPool = map[worldKey][]*netsim.Network{}
+)
+
+// takeWorld pops an idle same-shape network, or returns nil when the
+// caller should build fresh.
+func takeWorld(k worldKey) *netsim.Network {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	ws := worldPool[k]
+	n := len(ws)
+	if n == 0 {
+		return nil
+	}
+	nw := ws[n-1]
+	ws[n-1] = nil
+	worldPool[k] = ws[:n-1]
+	return nw
+}
+
+// putWorld returns a finished network to its shape's pool, unless the
+// pool is full.
+func putWorld(k worldKey, nw *netsim.Network) {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	if len(worldPool[k]) < worldPoolCap {
+		worldPool[k] = append(worldPool[k], nw)
+	}
 }
 
 // MustRun is Run for specs known to be valid (experiment runners and
@@ -344,63 +423,81 @@ func Build(spec Spec) (*netsim.Network, []queue.Discipline, error) {
 	return nw, queues, err
 }
 
-// build is Build plus the compiled layout, so Run can hand it to
-// finish instead of recompiling the graph after the simulation.
-func build(spec Spec) (*netsim.Network, []queue.Discipline, *topo.Graph, error) {
-	if spec.Seed == nil {
+// prep validates the spec and compiles everything a network build
+// needs: the layout graph, the gateway queue per link, and the
+// per-flow algorithm/workload pairs. Both the fresh-build path and the
+// recycled-world path start here.
+func (s *Spec) prep() (*topo.Graph, []queue.Discipline, []topo.FlowSpec, error) {
+	if s.Seed == nil {
 		return nil, nil, nil, fmt.Errorf("scenario: spec needs a seed stream")
 	}
-	if spec.Duration <= 0 {
+	if s.Duration <= 0 {
 		return nil, nil, nil, fmt.Errorf("scenario: spec needs a positive duration")
 	}
-	lay, err := spec.Layout()
+	lay, err := s.Layout()
 	if err != nil {
 		return nil, nil, nil, err
 	}
 
-	if len(spec.LinkBufferBDP) > len(lay.Edges) {
+	if len(s.LinkBufferBDP) > len(lay.Edges) {
 		return nil, nil, nil, fmt.Errorf("scenario: %d per-link buffer overrides for %d links",
-			len(spec.LinkBufferBDP), len(lay.Edges))
+			len(s.LinkBufferBDP), len(lay.Edges))
 	}
-	for i, bdp := range spec.LinkBufferBDP {
+	for i, bdp := range s.LinkBufferBDP {
 		if bdp < 0 {
 			return nil, nil, nil, fmt.Errorf("scenario: link %d has negative buffer override %v BDP", i, bdp)
 		}
 	}
 	queues := make([]queue.Discipline, len(lay.Edges))
 	for i, e := range lay.Edges {
-		q, err := spec.mkQueue(i, e)
+		q, err := s.mkQueue(i, e)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		queues[i] = q
 	}
 
-	flows := make([]topo.FlowSpec, len(spec.Senders))
-	for i, snd := range spec.Senders {
+	flows := make([]topo.FlowSpec, len(s.Senders))
+	for i, snd := range s.Senders {
 		wl := snd.Workload
 		if wl == nil {
-			if spec.MeanOn <= 0 || spec.MeanOff <= 0 {
+			if s.MeanOn <= 0 || s.MeanOff <= 0 {
 				return nil, nil, nil, fmt.Errorf("scenario: sender %d needs the default on/off workload, but means are %v on / %v off",
-					i, spec.MeanOn, spec.MeanOff)
+					i, s.MeanOn, s.MeanOff)
 			}
-			wl = workload.NewOnOff(spec.MeanOn, spec.MeanOff, spec.Seed.SplitN("workload", i))
+			wl = workload.NewOnOff(s.MeanOn, s.MeanOff, s.Seed.SplitN("workload", i))
 		}
 		flows[i] = topo.FlowSpec{Alg: snd.Alg, Workload: wl}
 	}
+	return lay, queues, flows, nil
+}
 
-	nw, err := topo.Build(lay, queues, flows)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	if spec.DisablePacketPool {
+// applyModes applies the spec's differential-testing mode switches to
+// a built (or just-recycled) network. Reinit restores every default,
+// so modes are re-applied per run.
+func (s *Spec) applyModes(nw *netsim.Network) {
+	if s.DisablePacketPool {
 		nw.Pool.Disable()
 	}
-	if spec.UseMapScoreboard {
+	if s.UseMapScoreboard {
 		for _, f := range nw.Flows {
 			f.Sender.UseMapScoreboard()
 		}
 	}
+}
+
+// build is Build plus the compiled layout, so Run can hand it to
+// finish instead of recompiling the graph after the simulation.
+func build(spec Spec) (*netsim.Network, []queue.Discipline, *topo.Graph, error) {
+	lay, queues, flows, err := spec.prep()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nw, err := topo.Build(lay, queues, flows)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	spec.applyModes(nw)
 	return nw, queues, lay, nil
 }
 

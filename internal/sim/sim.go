@@ -142,6 +142,23 @@ func (s *Scheduler) After(d units.Duration, fn func()) Timer {
 // Stop halts Run after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Reset returns the scheduler to its initial state — time zero, no
+// pending events, insertion order restarted — while keeping the slot
+// arena and free list, so a recycled simulation schedules into warm
+// storage instead of re-growing it. Every pending event's slot is
+// released with a generation bump, so outstanding Timer handles report
+// not-pending rather than touching a recycled slot. Processed keeps
+// counting across resets (it observes the scheduler's lifetime).
+func (s *Scheduler) Reset() {
+	for _, si := range s.heap {
+		s.release(si)
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+}
+
 // Len reports the exact number of pending events. Cancelling a timer
 // removes its event immediately, so (unlike a lazy-cancellation
 // scheduler) there are never dead entries inflating this count.

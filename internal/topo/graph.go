@@ -152,35 +152,67 @@ func (g *Graph) FairShare(f int) units.Rate {
 	return best
 }
 
+// validateBuild checks the full Build/BuildInto input set: the graph
+// itself, the queue-per-edge and flow-per-route correspondences, and
+// that every flow has an algorithm and a workload.
+func validateBuild(g *Graph, queues []queue.Discipline, flows []FlowSpec) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if len(flows) != len(g.Routes) {
+		return fmt.Errorf("topo: %d flows for %d routes", len(flows), len(g.Routes))
+	}
+	if len(queues) != len(g.Edges) {
+		return fmt.Errorf("topo: %d queues for %d edges", len(queues), len(g.Edges))
+	}
+	for i, q := range queues {
+		if q == nil {
+			return fmt.Errorf("topo: nil queue for edge %d", i)
+		}
+	}
+	for i, fs := range flows {
+		if fs.Alg == nil {
+			return fmt.Errorf("topo: flow %d has nil congestion-control algorithm", i)
+		}
+		if fs.Workload == nil {
+			return fmt.Errorf("topo: flow %d has nil workload", i)
+		}
+	}
+	return nil
+}
+
+// installRoutes compiles each flow's path into per-link next-hop
+// delivery chains: a flat flow-indexed table per link, so per-packet
+// forwarding is a single slice load.
+func installRoutes(g *Graph, links []*netsim.Link, receivers []*netsim.Receiver) {
+	for li := range links {
+		next := make([]netsim.Deliverer, len(g.Routes))
+		for f, rt := range g.Routes {
+			for pos, l := range rt.Links {
+				if l != li {
+					continue
+				}
+				if pos+1 < len(rt.Links) {
+					next[f] = links[rt.Links[pos+1]]
+				} else {
+					next[f] = receivers[f]
+				}
+				break
+			}
+		}
+		links[li].SetRoute(next)
+	}
+}
+
 // Build compiles the graph into a runnable network: one netsim.Link per
 // edge (queues[i] gating edge i), one sender/receiver pair per route,
 // and a flat flow-indexed next-hop table on every link so per-packet
 // forwarding stays allocation-free. Per-flow PropDelay, MinRTT, and
 // reverse-path delay are derived from path membership.
 func Build(g *Graph, queues []queue.Discipline, flows []FlowSpec) (*netsim.Network, error) {
-	if err := g.Validate(); err != nil {
+	if err := validateBuild(g, queues, flows); err != nil {
 		return nil, err
 	}
-	if len(flows) != len(g.Routes) {
-		return nil, fmt.Errorf("topo: %d flows for %d routes", len(flows), len(g.Routes))
-	}
-	if len(queues) != len(g.Edges) {
-		return nil, fmt.Errorf("topo: %d queues for %d edges", len(queues), len(g.Edges))
-	}
-	for i, q := range queues {
-		if q == nil {
-			return nil, fmt.Errorf("topo: nil queue for edge %d", i)
-		}
-	}
-	for i, fs := range flows {
-		if fs.Alg == nil {
-			return nil, fmt.Errorf("topo: flow %d has nil congestion-control algorithm", i)
-		}
-		if fs.Workload == nil {
-			return nil, fmt.Errorf("topo: flow %d has nil workload", i)
-		}
-	}
-
 	nw := netsim.New()
 	links := make([]*netsim.Link, len(g.Edges))
 	for i, e := range g.Edges {
@@ -197,23 +229,40 @@ func Build(g *Graph, queues []queue.Discipline, flows []FlowSpec) (*netsim.Netwo
 		receivers[f] = rcv
 		nw.AddFlow(&netsim.Flow{Sender: snd, Receiver: rcv, Stats: st, Workload: fs.Workload})
 	}
-	// Compile each flow's path into per-link next-hop delivery chains.
-	for li := range links {
-		next := make([]netsim.Deliverer, len(flows))
-		for f, rt := range g.Routes {
-			for pos, l := range rt.Links {
-				if l != li {
-					continue
-				}
-				if pos+1 < len(rt.Links) {
-					next[f] = links[rt.Links[pos+1]]
-				} else {
-					next[f] = receivers[f]
-				}
-				break
-			}
-		}
-		links[li].SetRoute(next)
-	}
+	installRoutes(g, links, receivers)
 	return nw, nil
+}
+
+// BuildInto recompiles the graph into an existing network from a
+// finished run, reusing its warmed component graph — scheduler arena,
+// packet free lists, sender/receiver rings — instead of building a new
+// one. The network must have been built (by Build) with the same shape:
+// the same number of edges and routes. Everything else — rates, delays,
+// queues, algorithms, workloads, paths — is re-derived from this call's
+// arguments, so a recycled world is observably identical to a fresh
+// Build with the same inputs.
+func BuildInto(nw *netsim.Network, g *Graph, queues []queue.Discipline, flows []FlowSpec) error {
+	if err := validateBuild(g, queues, flows); err != nil {
+		return err
+	}
+	if len(nw.Links) != len(g.Edges) || len(nw.Flows) != len(g.Routes) {
+		return fmt.Errorf("topo: network shape %d links/%d flows cannot host graph with %d edges/%d routes",
+			len(nw.Links), len(nw.Flows), len(g.Edges), len(g.Routes))
+	}
+	nw.Reset()
+	for i, e := range g.Edges {
+		nw.Links[i].Reinit(e.Rate, e.Prop, queues[i])
+	}
+	receivers := make([]*netsim.Receiver, len(flows))
+	for f, fs := range flows {
+		fl := nw.Flows[f]
+		prop := g.PathProp(f)
+		fl.Stats.Reset(f, prop, prop+g.ReverseDelay(f))
+		fl.Receiver.Reinit(g.ReverseDelay(f))
+		fl.Sender.Reinit(fs.Alg, nw.Links[g.Routes[f].Links[0]])
+		fl.Workload = fs.Workload
+		receivers[f] = fl.Receiver
+	}
+	installRoutes(g, nw.Links, receivers)
+	return nil
 }

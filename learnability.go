@@ -140,15 +140,15 @@ type (
 )
 
 // NewShardServer returns a TCP shard worker wired to the real job
-// evaluator, with a result cache of maxCacheEntries entries (0 = the
-// default size, negative = no cache). Serve it on a net.Listener and
-// point Trainer.Remotes at its address.
+// evaluator, with a slot-level result cache of maxCacheEntries entries
+// (0 = the default size, negative = no cache). Serve it on a
+// net.Listener and point Trainer.Remotes at its address.
 func NewShardServer(maxCacheEntries int) *ShardServer {
-	srv := &shardnet.Server{Eval: remy.EvalShardJob}
+	var cache *shardnet.Cache
 	if maxCacheEntries >= 0 {
-		srv.Cache = shardnet.NewCache(maxCacheEntries)
+		cache = shardnet.NewCache(maxCacheEntries)
 	}
-	return srv
+	return &shardnet.Server{Eval: remy.CachedShardEval(cache)}
 }
 
 // Scenario execution.

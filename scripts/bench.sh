@@ -52,6 +52,11 @@ go test -run '^$' \
   -benchmem -benchtime "$MICRO_BENCHTIME" -count "$BENCH_COUNT" \
   ./internal/sim/ ./internal/netsim/ ./internal/cc/remycc/ | tee "$RAW"
 
+echo "== shard codec benchmarks =="
+go test -run '^$' -bench 'BenchmarkShardCodec' \
+  -benchmem -benchtime "$MICRO_BENCHTIME" -count "$BENCH_COUNT" \
+  ./internal/remy/shard/ | tee -a "$RAW"
+
 echo "== scenario + trainer benchmarks =="
 # BenchmarkScenarioRun matches both the dumbbell fast path and
 # BenchmarkScenarioRunParkingLot (the multi-hop forwarding-chain path),
@@ -82,6 +87,40 @@ END {
 
 echo "wrote BENCH_core.json:"
 cat BENCH_core.json
+
+# Sharded training must actually pay: on a machine with enough cores,
+# 4 in-process shard lanes must train at least 2x faster than 1. On
+# fewer cores the lanes just time-slice one CPU (and the pipelined
+# windows add coordination), so the gate is core-count-guarded rather
+# than asserting the impossible.
+NPROC="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+echo
+echo "== shard scaling gate (needs >= 4 cores; this machine has $NPROC) =="
+if [ "$NPROC" -ge 4 ]; then
+  awk '
+    /"name"/ {
+      name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+      v[name] = ns + 0
+    }
+    END {
+      one = v["BenchmarkTrainerSharded/1shards"]
+      four = v["BenchmarkTrainerSharded/4shards"]
+      if (one == 0 || four == 0) {
+        print "skipped: sharded benchmarks missing from BENCH_core.json"
+        exit 0
+      }
+      speedup = one / four
+      printf "4 shard lanes vs 1: %.2fx speedup (gate: >= 2x)\n", speedup
+      if (speedup < 2) {
+        print "FAIL: 4 shard lanes are not >= 2x faster than 1 on a multi-core machine" | "cat >&2"
+        exit 1
+      }
+    }
+  ' BENCH_core.json
+else
+  echo "skipped: shard lanes time-slice a ${NPROC}-core machine; no speedup to assert"
+fi
 
 if [ -n "$BASELINE" ]; then
   echo

@@ -342,6 +342,36 @@ func BenchmarkScenarioRunParkingLot(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioRunFatTree measures the multipath forwarding hot
+// path: one 30-s Cubic run of a 4-flow incast on a k=4 fat-tree (96
+// links, 4 equal-cost paths per inter-pod flow) under per-packet
+// spraying — the policy that exercises the packet-time selector on
+// every hop with fanout. Together with BenchmarkScenarioRun and
+// BenchmarkScenarioRunParkingLot it gates the graph engine; the
+// forwarding path itself stays 0 allocs/packet
+// (TestMultipathForwardZeroAlloc pins that exactly, and the
+// BenchmarkLinkFanout micro benchmark gates it in BENCH_core.json).
+func BenchmarkScenarioRunFatTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo := learnability.FatTreeIncast(4, 4, learnability.Spray)
+		spec := learnability.Spec{
+			Topology:  topo,
+			LinkSpeed: 32 * learnability.Mbps,
+			MinRTT:    150 * learnability.Millisecond,
+			Buffering: learnability.FiniteDropTail,
+			BufferBDP: 5,
+			MeanOn:    learnability.Second,
+			MeanOff:   learnability.Second,
+			Duration:  30 * learnability.Second,
+			Seed:      learnability.NewSeed(uint64(i)),
+		}
+		for f := 0; f < topo.FlowCount(0); f++ {
+			spec.Senders = append(spec.Senders, learnability.SpecSender{Alg: learnability.NewCubic(), Delta: 1})
+		}
+		learnability.MustRunScenario(spec)
+	}
+}
+
 // BenchmarkVegasSqueeze regenerates the §4.5 premise: Vegas holds its
 // own against itself but is squeezed out by loss-triggered TCP.
 func BenchmarkVegasSqueeze(b *testing.B) {

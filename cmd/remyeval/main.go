@@ -22,29 +22,64 @@ import (
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
 	"learnability/internal/stats"
+	topolib "learnability/internal/topo"
 	"learnability/internal/units"
 )
 
 func main() {
 	var (
-		treePath = flag.String("tree", "", "whisker-tree JSON (required)")
-		speedMin = flag.Float64("speed-min", 10, "sweep start (Mbps)")
-		speedMax = flag.Float64("speed-max", 100, "sweep end (Mbps)")
-		points   = flag.Int("points", 5, "sweep points (log-spaced)")
-		rtt      = flag.Float64("rtt", 150, "minimum RTT (ms)")
-		senders  = flag.Int("senders", 2, "number of senders")
-		meanOn   = flag.Float64("on", 1, "mean on time (s)")
-		meanOff  = flag.Float64("off", 1, "mean off time (s)")
-		bufBDP   = flag.Float64("buffer-bdp", 5, "buffer in BDPs; 0 = no-drop")
-		delta    = flag.Float64("delta", 1, "objective delay weight")
-		dur      = flag.Float64("duration", 30, "simulated seconds per run")
-		replicas = flag.Int("replicas", 4, "runs per point")
-		seed     = flag.Uint64("seed", 1, "evaluation seed")
+		treePath  = flag.String("tree", "", "whisker-tree JSON (required)")
+		topology  = flag.String("topology", "dumbbell", "evaluation topology: dumbbell or fattree (use -k, -routing, -placement)")
+		arity     = flag.Int("k", 4, "fat-tree arity (even; k^3/4 hosts)")
+		routing   = flag.String("routing", "ecmp", "fat-tree multipath routing: ecmp, spray, or adaptive")
+		placement = flag.String("placement", "permutation", "fat-tree flow placement: permutation, alltoall, or incast")
+		incastN   = flag.Int("incast", 3, "converging flows for -placement incast")
+		speedMin  = flag.Float64("speed-min", 10, "sweep start (Mbps)")
+		speedMax  = flag.Float64("speed-max", 100, "sweep end (Mbps)")
+		points    = flag.Int("points", 5, "sweep points (log-spaced)")
+		rtt       = flag.Float64("rtt", 150, "minimum RTT (ms)")
+		senders   = flag.Int("senders", 2, "number of senders (dumbbell only; fat-tree placements fix the flow count)")
+		meanOn    = flag.Float64("on", 1, "mean on time (s)")
+		meanOff   = flag.Float64("off", 1, "mean off time (s)")
+		bufBDP    = flag.Float64("buffer-bdp", 5, "buffer in BDPs; 0 = no-drop")
+		delta     = flag.Float64("delta", 1, "objective delay weight")
+		dur       = flag.Float64("duration", 30, "simulated seconds per run")
+		replicas  = flag.Int("replicas", 4, "runs per point")
+		seed      = flag.Uint64("seed", 1, "evaluation seed")
 	)
 	flag.Parse()
 
 	if *treePath == "" {
 		fmt.Fprintln(os.Stderr, "remyeval: -tree is required")
+		os.Exit(2)
+	}
+	evalTopo := scenario.Dumbbell
+	nFlows := *senders
+	switch *topology {
+	case "dumbbell":
+	case "fattree", "fat-tree":
+		pol, err := topolib.ParseRoutingPolicy(*routing)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remyeval:", err)
+			os.Exit(2)
+		}
+		place, err := scenario.ParsePlacement(*placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remyeval:", err)
+			os.Exit(2)
+		}
+		evalTopo = scenario.FatTreeTopology(*arity, pol)
+		evalTopo.Placement = place
+		if place == scenario.PlacementIncast {
+			evalTopo.IncastN = *incastN
+		}
+		if err := evalTopo.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "remyeval:", err)
+			os.Exit(2)
+		}
+		nFlows = evalTopo.FlowCount(0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q (want dumbbell or fattree)\n", *topology)
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(*treePath)
@@ -84,7 +119,7 @@ func main() {
 			root := rng.New(*seed).Split(p.name).SplitN("pt", i)
 			for rep := 0; rep < *replicas; rep++ {
 				spec := scenario.Spec{
-					Topology:  scenario.Dumbbell,
+					Topology:  evalTopo,
 					LinkSpeed: units.Rate(mbps) * units.Mbps,
 					MinRTT:    units.DurationFromSeconds(*rtt / 1e3),
 					Buffering: buffering,
@@ -94,7 +129,7 @@ func main() {
 					Duration:  units.DurationFromSeconds(*dur),
 					Seed:      root.SplitN("rep", rep),
 				}
-				for s := 0; s < *senders; s++ {
+				for s := 0; s < nFlows; s++ {
 					spec.Senders = append(spec.Senders, scenario.Sender{Alg: p.mk(), Delta: *delta})
 				}
 				results, err := scenario.Run(spec)

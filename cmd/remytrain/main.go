@@ -23,14 +23,19 @@ import (
 	"learnability/internal/cc/remycc"
 	"learnability/internal/remy"
 	"learnability/internal/scenario"
+	topolib "learnability/internal/topo"
 	"learnability/internal/units"
 )
 
 func main() {
 	var (
-		topology   = flag.String("topology", "dumbbell", "training topology: dumbbell or parkinglot (use -hops for more than 2 bottlenecks)")
+		topology   = flag.String("topology", "dumbbell", "training topology: dumbbell, parkinglot (use -hops for more than 2 bottlenecks), or fattree (use -k, -routing, -placement)")
 		hops       = flag.Int("hops", 2, "parking-lot bottleneck links in series")
 		cross      = flag.Bool("cross", true, "parking-lot cross traffic: one single-hop flow per link")
+		arity      = flag.Int("k", 4, "fat-tree arity (even; k^3/4 hosts)")
+		routing    = flag.String("routing", "ecmp", "fat-tree multipath routing: ecmp, spray, or adaptive")
+		placement  = flag.String("placement", "permutation", "fat-tree flow placement: permutation, alltoall, or incast")
+		incastN    = flag.Int("incast", 3, "converging flows for -placement incast")
 		speedMin   = flag.Float64("speed-min", 10, "minimum link speed (Mbps), drawn log-uniformly; multi-link topologies draw each link from this range")
 		speedMax   = flag.Float64("speed-max", 100, "maximum link speed (Mbps)")
 		rttMin     = flag.Float64("rtt", 150, "minimum RTT (ms); lower end if -rtt-max set")
@@ -97,6 +102,28 @@ func main() {
 			os.Exit(2)
 		}
 		topo = scenario.ParkingLotN(*hops, *cross)
+		*sendersMin, *sendersMax = 0, 0
+	case "fattree", "fat-tree":
+		// The placement fixes the flow count, like the parking lot.
+		if sendersSet {
+			fmt.Fprintln(os.Stderr, "remytrain: -senders/-senders-min do not apply to -topology fattree (the placement fixes the flow count)")
+			os.Exit(2)
+		}
+		pol, err := topolib.ParseRoutingPolicy(*routing)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remytrain:", err)
+			os.Exit(2)
+		}
+		place, err := scenario.ParsePlacement(*placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remytrain:", err)
+			os.Exit(2)
+		}
+		topo = scenario.FatTreeTopology(*arity, pol)
+		topo.Placement = place
+		if place == scenario.PlacementIncast {
+			topo.IncastN = *incastN
+		}
 		*sendersMin, *sendersMax = 0, 0
 	default:
 		fmt.Fprintf(os.Stderr, "unknown topology %q (want dumbbell or parkinglot)\n", *topology)

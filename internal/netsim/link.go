@@ -21,6 +21,44 @@ type Deliverer interface {
 	Deliver(now units.Time, p *packet.Packet)
 }
 
+// PathSelector picks among a flow's candidate next hops at packet time.
+// It applies only to (link, flow) pairs whose compiled fanout exceeds
+// one; ECMP never reaches packet time (the topology compiler resolves
+// its flow-hash to a single next hop per link, so ECMP forwarding IS
+// the single-path fast path).
+type PathSelector uint8
+
+// Per-packet selection disciplines.
+const (
+	// SelectSpray round-robins a flow's candidates at each link
+	// (per-packet load balancing; induces reordering by design).
+	SelectSpray PathSelector = iota
+	// SelectAdaptive sends each packet to the candidate whose ingress
+	// queue currently holds the fewest packets (first candidate wins
+	// ties, so selection is deterministic).
+	SelectAdaptive
+)
+
+// NextHops is one flow's candidate next-hop set at one link, compiled
+// by the topology builder for (link, flow) pairs with fanout > 1.
+// Queues is parallel to Cands: the candidate's ingress queue when the
+// candidate is a link, nil for terminal hops (receivers), which the
+// adaptive selector treats as always-empty.
+type NextHops struct {
+	// Cands are the candidate next hops, in deterministic path order.
+	Cands []Deliverer
+	// Queues are the candidates' ingress queues (nil = no queue).
+	Queues []queue.Discipline
+}
+
+// queueLen reports candidate i's ingress-queue occupancy in packets.
+func (h *NextHops) queueLen(i int) int {
+	if q := h.Queues[i]; q != nil {
+		return q.Len()
+	}
+	return 0
+}
+
 // Link is a unidirectional link: a queueing discipline feeding a
 // serializer of fixed rate, followed by a fixed propagation delay.
 // Packets leaving the link are handed to the next hop in the link's
@@ -38,8 +76,28 @@ type Link struct {
 	rate  units.Rate
 	prop  units.Duration
 	q     queue.Discipline
-	next  []Deliverer // flow-indexed next hop
+	next  []Deliverer // flow-indexed next hop; nil entry = consult multi
 	busy  bool
+
+	// multi holds flow-indexed candidate sets for (link, flow) pairs
+	// whose compiled fanout exceeds one; next[f] is nil exactly when
+	// multi[f].Cands is non-empty. Single-path flows (including all
+	// ECMP flows, whose hash is resolved at compile time) never touch
+	// it, so the classic forwarding path is unchanged.
+	multi []NextHops
+	sel   PathSelector
+	rr    []uint32 // per-flow spray round-robin cursors
+
+	// in counts packets accepted by Deliver (before any queue drop);
+	// out counts packets that exited the far end. The multipath
+	// property tests assert in == out + drops + InFlight per link.
+	in, out int64
+
+	// tallyIn/tallyOut, when non-nil, count per-flow ingress/egress
+	// packets (flow-indexed). Installed by SetFlowTally for per-flow
+	// conservation tests; nil in normal runs so the hot path pays one
+	// predictable branch.
+	tallyIn, tallyOut []int64
 
 	pool *packet.Pool // optional; recycles packets rejected at enqueue
 
@@ -111,6 +169,11 @@ func (l *Link) Reinit(rate units.Rate, prop units.Duration, q queue.Discipline) 
 	l.txMTU = rate.TransmissionTime(packet.MTU)
 	l.txACK = rate.TransmissionTime(packet.ACKSize)
 	l.next = nil
+	l.multi = nil
+	l.sel = SelectSpray
+	l.rr = nil
+	l.in, l.out = 0, 0
+	l.tallyIn, l.tallyOut = nil, nil
 	if pa, ok := q.(queue.PoolAware); ok {
 		pa.SetPool(l.pool)
 	}
@@ -120,8 +183,81 @@ func (l *Link) Reinit(rate units.Rate, prop units.Duration, q queue.Discipline) 
 // Deliverer packets of that flow are handed to when they exit the link.
 // Topology builders (package topo) compile a flow's multi-hop path into
 // one table entry per link, so per-packet forwarding is a single slice
-// load — no closure, no allocation.
-func (l *Link) SetRoute(next []Deliverer) { l.next = next }
+// load — no closure, no allocation. Any previously installed multipath
+// tables are cleared.
+func (l *Link) SetRoute(next []Deliverer) {
+	l.next = next
+	l.multi = nil
+	l.rr = nil
+	l.in, l.out = 0, 0
+}
+
+// SetMultiRoute installs a route table with per-packet path diversity:
+// next[f] is the single next hop for flows with compiled fanout 1 and
+// nil for flows with several candidates, whose sets live in multi[f].
+// sel picks among candidates at packet time (spray round-robin or
+// adaptive least-queue); the spray cursors are (re)zeroed here so
+// replayed runs are deterministic. Both tables are flow-indexed and
+// must have equal length.
+func (l *Link) SetMultiRoute(next []Deliverer, multi []NextHops, sel PathSelector) {
+	if len(multi) != len(next) {
+		panic("netsim: SetMultiRoute with mismatched table lengths")
+	}
+	l.next = next
+	l.multi = multi
+	l.sel = sel
+	if len(l.rr) < len(next) {
+		l.rr = make([]uint32, len(next))
+	} else {
+		l.rr = l.rr[:len(next)]
+		for i := range l.rr {
+			l.rr[i] = 0
+		}
+	}
+	l.in, l.out = 0, 0
+}
+
+// SetFlowTally installs flow-indexed per-flow packet counters (ingress
+// and egress), used by the multipath conservation property tests. Both
+// slices may be nil to disable tallying. The caller owns the slices and
+// reads the counts back directly.
+func (l *Link) SetFlowTally(in, out []int64) {
+	l.tallyIn, l.tallyOut = in, out
+}
+
+// Counts reports the link's lifetime ingress and egress packet counts
+// since the route table was last installed: in counts every packet
+// handed to Deliver (including ones the queue then dropped), out counts
+// packets that exited the far end of the propagation delay. Together
+// with the queue's drop statistics and InFlight they satisfy
+// in == out + drops + InFlight at any instant.
+func (l *Link) Counts() (in, out int64) { return l.in, l.out }
+
+// NextHop reports the single compiled next hop for flow f, or nil when
+// the flow has per-packet fanout at this link (or no route). Property
+// tests use it to walk ECMP-compiled paths.
+func (l *Link) NextHop(f int) Deliverer {
+	if f < 0 || f >= len(l.next) {
+		return nil
+	}
+	return l.next[f]
+}
+
+// Fanout reports the number of candidate next hops flow f has at this
+// link: 1 for compiled single-path entries, the candidate-set size for
+// multipath entries, 0 when the flow has no route here.
+func (l *Link) Fanout(f int) int {
+	if f < 0 || f >= len(l.next) {
+		return 0
+	}
+	if l.next[f] != nil {
+		return 1
+	}
+	if l.multi != nil {
+		return len(l.multi[f].Cands)
+	}
+	return 0
+}
 
 // SetPool attaches the simulation's packet pool, letting the link
 // recycle packets its queue rejects at enqueue. The pool is forwarded
@@ -171,6 +307,10 @@ func (l *Link) txTime(size int) units.Duration {
 // queue. Packets the queue rejects are returned to the pool (after the
 // queue's drop accounting and recorder have run).
 func (l *Link) Deliver(now units.Time, p *packet.Packet) {
+	l.in++
+	if l.tallyIn != nil {
+		l.tallyIn[p.Flow]++
+	}
 	if !l.q.Enqueue(now, p) {
 		l.pool.Put(p)
 	}
@@ -206,8 +346,43 @@ func (l *Link) txDone() {
 
 // arrive fires when the head packet in propagation reaches the far end.
 // Arrival events are scheduled once per packet and packets propagate in
-// FIFO order, so the head is always the arriving packet.
+// FIFO order, so the head is always the arriving packet. Single-path
+// entries (the common case, and every entry in classic topologies)
+// dispatch through one slice load; nil entries fall through to the
+// per-packet path selector.
 func (l *Link) arrive() {
 	p := l.propQ.pop()
-	l.next[p.Flow].Deliver(l.sched.Now(), p)
+	l.out++
+	if l.tallyOut != nil {
+		l.tallyOut[p.Flow]++
+	}
+	if d := l.next[p.Flow]; d != nil {
+		d.Deliver(l.sched.Now(), p)
+		return
+	}
+	l.forward(p)
+}
+
+// forward picks among a flow's candidate next hops at packet time —
+// the multipath slow(er) path, still allocation-free. Reached only for
+// (link, flow) pairs the topology compiler left with fanout > 1, i.e.
+// SPRAY and ADAPTIVE policies; ECMP is resolved to single next hops at
+// compile time.
+func (l *Link) forward(p *packet.Packet) {
+	h := &l.multi[p.Flow]
+	i := 0
+	switch l.sel {
+	case SelectSpray:
+		c := l.rr[p.Flow]
+		l.rr[p.Flow] = c + 1
+		i = int(c % uint32(len(h.Cands)))
+	case SelectAdaptive:
+		best := h.queueLen(0)
+		for j := 1; j < len(h.Cands); j++ {
+			if n := h.queueLen(j); n < best {
+				best, i = n, j
+			}
+		}
+	}
+	h.Cands[i].Deliver(l.sched.Now(), p)
 }

@@ -1,0 +1,194 @@
+package netsim
+
+// Multipath forwarding tests and benchmarks: the per-packet path
+// selector (spray round-robin, adaptive least-queue) must stay
+// allocation-free and deterministic. BenchmarkLinkFanout is the
+// multipath counterpart of BenchmarkLinkSaturation and is gated in
+// BENCH_core.json at 0 allocs/op.
+
+import (
+	"testing"
+
+	"learnability/internal/packet"
+	"learnability/internal/queue"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// countSink terminates packets, counting and recycling them.
+type countSink struct {
+	pool *packet.Pool
+	n    int
+}
+
+// Deliver implements Deliverer.
+func (s *countSink) Deliver(_ units.Time, p *packet.Packet) {
+	s.n++
+	s.pool.Put(p)
+}
+
+// fanoutDiamond wires the smallest topology that exercises forward():
+// l0 fans flow 0 out to l1 and l2 under the given selector, and both
+// downstream links recirculate packets back into l0, so a handful of
+// pooled packets keeps the multipath hot path busy forever.
+func fanoutDiamond(sel PathSelector) (*sim.Scheduler, *packet.Pool, *Link) {
+	sched := sim.New()
+	pool := &packet.Pool{}
+	l0 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	l1 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	l2 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	for _, l := range []*Link{l0, l1, l2} {
+		l.SetPool(pool)
+	}
+	l1.SetRoute([]Deliverer{refeed{l0}})
+	l2.SetRoute([]Deliverer{refeed{l0}})
+	l0.SetMultiRoute(
+		[]Deliverer{nil},
+		[]NextHops{{Cands: []Deliverer{l1, l2}, Queues: []queue.Discipline{l1.Queue(), l2.Queue()}}},
+		sel,
+	)
+	for i := 0; i < 16; i++ {
+		l0.Deliver(sched.Now(), pool.Data(0, int64(i), sched.Now()))
+	}
+	return sched, pool, l0
+}
+
+// TestSpraySplitsEvenly checks the spray selector round-robins a flow's
+// candidates: an even packet count splits exactly in half.
+func TestSpraySplitsEvenly(t *testing.T) {
+	sched := sim.New()
+	pool := &packet.Pool{}
+	l0 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	l1 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	l2 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	sink := &countSink{pool: pool}
+	for _, l := range []*Link{l0, l1, l2} {
+		l.SetPool(pool)
+		if l != l0 {
+			l.SetRoute([]Deliverer{sink})
+		}
+	}
+	l0.SetMultiRoute(
+		[]Deliverer{nil},
+		[]NextHops{{Cands: []Deliverer{l1, l2}, Queues: []queue.Discipline{l1.Queue(), l2.Queue()}}},
+		SelectSpray,
+	)
+	const n = 10
+	for i := 0; i < n; i++ {
+		l0.Deliver(sched.Now(), pool.Data(0, int64(i), sched.Now()))
+	}
+	for sched.Step() {
+	}
+	in1, _ := l1.Counts()
+	in2, _ := l2.Counts()
+	if in1 != n/2 || in2 != n/2 {
+		t.Fatalf("spray split %d/%d, want %d/%d", in1, in2, n/2, n/2)
+	}
+	if sink.n != n {
+		t.Fatalf("sink saw %d packets, want %d", sink.n, n)
+	}
+}
+
+// TestAdaptiveAvoidsBacklog checks the adaptive selector steers every
+// packet away from a candidate with a standing queue.
+func TestAdaptiveAvoidsBacklog(t *testing.T) {
+	sched := sim.New()
+	pool := &packet.Pool{}
+	l0 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	l1 := NewLink(sched, units.Gbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	// l2 is three orders of magnitude slower, so its prefilled queue
+	// stays backlogged for the whole test.
+	l2 := NewLink(sched, units.Mbps, 20*units.Microsecond, queue.NewDropTail(64*packet.MTU))
+	sink := &countSink{pool: pool}
+	for _, l := range []*Link{l0, l1, l2} {
+		l.SetPool(pool)
+		if l != l0 {
+			l.SetRoute([]Deliverer{sink})
+		}
+	}
+	l0.SetMultiRoute(
+		[]Deliverer{nil},
+		[]NextHops{{Cands: []Deliverer{l1, l2}, Queues: []queue.Discipline{l1.Queue(), l2.Queue()}}},
+		SelectAdaptive,
+	)
+	const preload, n = 6, 4
+	for i := 0; i < preload; i++ {
+		l2.Deliver(sched.Now(), pool.Data(0, int64(i), sched.Now()))
+	}
+	for i := 0; i < n; i++ {
+		l0.Deliver(sched.Now(), pool.Data(0, int64(preload+i), sched.Now()))
+	}
+	for sched.Step() {
+	}
+	in1, _ := l1.Counts()
+	in2, _ := l2.Counts()
+	if in1 != n {
+		t.Fatalf("adaptive sent %d packets to the idle candidate, want all %d (backlogged got %d)", in1, n, in2-preload)
+	}
+	if sink.n != preload+n {
+		t.Fatalf("sink saw %d packets, want %d", sink.n, preload+n)
+	}
+}
+
+// TestMultipathForwardZeroAlloc pins the multipath forwarding path at
+// exactly zero allocations per event for both per-packet selectors —
+// the invariant BenchmarkLinkFanout reports and the bench gate enforces.
+func TestMultipathForwardZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sel  PathSelector
+	}{
+		{"spray", SelectSpray},
+		{"adaptive", SelectAdaptive},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, _, _ := fanoutDiamond(tc.sel)
+			// Warm up past any lazy growth inside the scheduler.
+			for i := 0; i < 256; i++ {
+				if !sched.Step() {
+					t.Fatal("diamond went idle")
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				for i := 0; i < 64; i++ {
+					if !sched.Step() {
+						t.Fatal("diamond went idle")
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%s multipath forwarding allocates %.1f times per 64 events, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkLinkFanout measures the per-event cost of a saturated link
+// whose packets take the multipath forward() path on every hop — the
+// spray and adaptive counterpart of BenchmarkLinkSaturation. One op is
+// one scheduler event; allocs/op must stay at zero.
+func BenchmarkLinkFanout(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		sel  PathSelector
+	}{
+		{"spray", SelectSpray},
+		{"adaptive", SelectAdaptive},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sched, _, _ := fanoutDiamond(tc.sel)
+			for i := 0; i < 256; i++ {
+				if !sched.Step() {
+					b.Fatal("diamond went idle")
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sched.Step() {
+					b.Fatal("diamond went idle")
+				}
+			}
+		})
+	}
+}

@@ -95,6 +95,7 @@ func (r *Receiver) Deliver(now units.Time, p *packet.Packet) {
 		// depth, not the total stream length.
 		r.ooo.advance(r.cum + 1)
 	case p.Seq > r.cum:
+		r.stats.Reordered++
 		r.ooo.add(p.Seq)
 	default:
 		// Duplicate of already-delivered data; ACK it anyway (the

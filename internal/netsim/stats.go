@@ -39,6 +39,13 @@ type FlowStats struct {
 	// Timeouts counts RTO expirations.
 	Timeouts int64
 
+	// Reordered counts data packets that arrived ahead of the receiver's
+	// cumulative frontier (sequence gaps at arrival time). Per-packet
+	// multipath policies like SPRAY induce these by design; the
+	// reordering stress tests assert the counter is non-zero so the
+	// scoreboard comparisons are known to be non-vacuous.
+	Reordered int64
+
 	onSince units.Time
 	isOn    bool
 }

@@ -166,6 +166,10 @@ func (c *Config) sample(r *rng.Stream) draw {
 		d.nTrainee = c.Topology.FlowCount(0)
 	case scenario.KindGraph:
 		d.nTrainee = c.Topology.FlowCount(0)
+	case scenario.KindFatTree:
+		// The fabric runs every link at the drawn speed; the placement
+		// fixes the flow count.
+		d.nTrainee = c.Topology.FlowCount(0)
 	}
 	if c.AIMDProb > 0 && d.nTrainee > 1 && r.Float64() < c.AIMDProb {
 		d.nTrainee--
@@ -212,6 +216,11 @@ func (c *Config) Validate() error {
 	}
 	if n.Topology.Kind == scenario.KindParkingLot && n.MinRTTMin/units.Duration(2*n.Topology.Hops) <= 0 {
 		return fmt.Errorf("remy: minimum RTT %v too small for %d hops", n.MinRTTMin, n.Topology.Hops)
+	}
+	// A fat-tree's farthest flows cross 6 links each way, so the
+	// per-hop delay is MinRTT/12; it must stay positive.
+	if n.Topology.Kind == scenario.KindFatTree && n.MinRTTMin/12 <= 0 {
+		return fmt.Errorf("remy: minimum RTT %v too small for a fat-tree's 12 per-path hops", n.MinRTTMin)
 	}
 	if n.Topology.Kind != scenario.KindDumbbell && n.Other != nil && n.OtherCountMax > 0 {
 		return fmt.Errorf("remy: partner senders require a dumbbell (topology %v has a fixed flow count)", n.Topology.Kind)

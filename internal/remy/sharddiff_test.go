@@ -171,11 +171,26 @@ func tinyGraphConfig() Config {
 	return c
 }
 
+// tinyFatTreeConfig trains over a k=4 fat-tree incast under the given
+// multipath routing policy — the smallest configuration whose jobs
+// carry equal-cost path sets and a routing policy across the shard
+// wire protocol.
+func tinyFatTreeConfig(routing topo.RoutingPolicy) Config {
+	c := tinyConfig()
+	c.SendersMin, c.SendersMax = 0, 0 // the placement fixes the flow count
+	c.Topology = scenario.FatTreeIncast(4, 3, routing)
+	c.MinRTTMin = 120 * units.Millisecond
+	c.MinRTTMax = 120 * units.Millisecond
+	return c
+}
+
 // TestShardedTrainBitEqualTopologies extends the byte-equality
 // guarantee to topology-bearing generations: sharded training over
-// multi-hop topology draws (family and explicit-graph descriptions
-// shipped inside the job config) must match in-process training
-// byte for byte, over both in-process lanes and worker processes.
+// multi-hop topology draws (family, explicit-graph, and fat-tree
+// descriptions shipped inside the job config) must match in-process
+// training byte for byte, over in-process lanes, worker processes on
+// the v3 binary codec, and worker processes on the JSON reference
+// codec.
 func TestShardedTrainBitEqualTopologies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training test")
@@ -187,6 +202,8 @@ func TestShardedTrainBitEqualTopologies(t *testing.T) {
 	}{
 		{"parkinglot3", tinyParkingLotConfig()},
 		{"graph", tinyGraphConfig()},
+		{"fattree-ecmp", tinyFatTreeConfig(topo.ECMP)},
+		{"fattree-spray", tinyFatTreeConfig(topo.Spray)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			const seed = 7
@@ -197,9 +214,41 @@ func TestShardedTrainBitEqualTopologies(t *testing.T) {
 			}
 			procs := trainBytes(t, &Trainer{Cfg: tc.cfg, Seed: seed, Shards: 2, ShardCmd: workerCmd()})
 			if !bytes.Equal(procs, want) {
-				t.Fatal("worker processes changed the trained tree")
+				t.Fatal("worker processes (binary codec) changed the trained tree")
+			}
+			jsonProcs := trainBytes(t, &Trainer{Cfg: tc.cfg, Seed: seed, Shards: 2, ShardCmd: workerCmd(), ShardJSON: true})
+			if !bytes.Equal(jsonProcs, want) {
+				t.Fatal("worker processes (JSON reference codec) changed the trained tree")
 			}
 		})
+	}
+}
+
+// TestFatTreeConfigJSONRejectsUnknownPolicy covers the Cfg blob's trip
+// through both shard codecs: the training config serializes its
+// routing policy by name, round-trips exactly, and a blob naming a
+// policy this build does not implement fails to decode (a worker must
+// not silently degrade an unknown policy to ECMP and return
+// wrong-but-plausible scores).
+func TestFatTreeConfigJSONRejectsUnknownPolicy(t *testing.T) {
+	cfg := tinyFatTreeConfig(topo.Adaptive)
+	data, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatalf("marshal config: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"routing":"adaptive"`)) {
+		t.Fatalf("routing policy not serialized by name: %s", data)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal config: %v", err)
+	}
+	if back.Topology != cfg.Topology {
+		t.Fatalf("topology changed in round trip: %+v vs %+v", back.Topology, cfg.Topology)
+	}
+	bad := bytes.Replace(data, []byte(`"adaptive"`), []byte(`"wormhole"`), 1)
+	if err := json.Unmarshal(bad, &back); err == nil {
+		t.Fatal("config blob with unknown routing policy decoded without error")
 	}
 }
 

@@ -40,6 +40,9 @@ const (
 	KindParkingLot
 	// KindGraph is an explicit link/path graph description.
 	KindGraph
+	// KindFatTree is a k-ary fat-tree datacenter fabric with multipath
+	// routing (ECMP, spray, or adaptive) and a flow placement.
+	KindFatTree
 )
 
 // String names the topology family for experiment tables.
@@ -51,9 +54,53 @@ func (k TopologyKind) String() string {
 		return "parking-lot"
 	case KindGraph:
 		return "graph"
+	case KindFatTree:
+		return "fat-tree"
 	default:
 		return "unknown"
 	}
+}
+
+// Placement enumerates the fat-tree flow placements.
+type Placement int
+
+// Supported fat-tree placements.
+const (
+	// PlacementPermutation gives every host one flow to the host half
+	// the fabric away (pod-crossing; the default).
+	PlacementPermutation Placement = iota
+	// PlacementAllToAll places one flow per ordered host pair.
+	PlacementAllToAll
+	// PlacementIncast converges IncastN flows on host 0.
+	PlacementIncast
+)
+
+// String names the placement for experiment tables and CLI flags.
+func (p Placement) String() string {
+	switch p {
+	case PlacementPermutation:
+		return "permutation"
+	case PlacementAllToAll:
+		return "alltoall"
+	case PlacementIncast:
+		return "incast"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePlacement resolves a placement name ("permutation", "alltoall",
+// "incast") for CLI flags.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "permutation":
+		return PlacementPermutation, nil
+	case "alltoall", "all-to-all":
+		return PlacementAllToAll, nil
+	case "incast":
+		return PlacementIncast, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown placement %q (want permutation, alltoall, or incast)", s)
 }
 
 // Topology declaratively selects the network shape. The zero value is
@@ -73,6 +120,16 @@ type Topology struct {
 	CrossTraffic bool `json:"cross,omitempty"`
 	// Graph is the explicit description for KindGraph.
 	Graph *topo.Graph `json:"graph,omitempty"`
+	// FatTreeK is the fat-tree arity (KindFatTree; even, >= 2).
+	FatTreeK int `json:"k,omitempty"`
+	// Routing spreads fat-tree flows over their equal-cost paths
+	// (KindFatTree). Serialized by name ("ecmp", "spray", "adaptive");
+	// unknown names fail decoding rather than degrading to a default.
+	Routing topo.RoutingPolicy `json:"routing,omitempty"`
+	// Placement selects the fat-tree flow placement (KindFatTree).
+	Placement Placement `json:"placement,omitempty"`
+	// IncastN is the number of converging flows for PlacementIncast.
+	IncastN int `json:"incast_n,omitempty"`
 }
 
 // The paper's two topologies.
@@ -95,6 +152,19 @@ func ParkingLotN(hops int, cross bool) Topology {
 // GraphTopology wraps an explicit link/path graph description.
 func GraphTopology(g *topo.Graph) Topology {
 	return Topology{Kind: KindGraph, Graph: g}
+}
+
+// FatTreeTopology describes a k-ary fat-tree with a pod-crossing
+// permutation placement (one flow per host) under the given routing
+// policy.
+func FatTreeTopology(k int, routing topo.RoutingPolicy) Topology {
+	return Topology{Kind: KindFatTree, FatTreeK: k, Routing: routing}
+}
+
+// FatTreeIncast describes a k-ary fat-tree with n flows converging on
+// host 0 under the given routing policy.
+func FatTreeIncast(k, n int, routing topo.RoutingPolicy) Topology {
+	return Topology{Kind: KindFatTree, FatTreeK: k, Routing: routing, Placement: PlacementIncast, IncastN: n}
 }
 
 // longFlows resolves the parking-lot family's long-flow count.
@@ -122,6 +192,25 @@ func (t Topology) Validate() error {
 			return fmt.Errorf("scenario: graph topology without a graph")
 		}
 		return t.Graph.Validate()
+	case KindFatTree:
+		if t.FatTreeK < 2 || t.FatTreeK%2 != 0 {
+			return fmt.Errorf("scenario: fat-tree arity must be even and >= 2, got %d", t.FatTreeK)
+		}
+		if !t.Routing.Valid() {
+			return fmt.Errorf("scenario: fat-tree with unknown routing policy %d", int(t.Routing))
+		}
+		hosts := t.FatTreeK * t.FatTreeK * t.FatTreeK / 4
+		switch t.Placement {
+		case PlacementPermutation, PlacementAllToAll:
+			return nil
+		case PlacementIncast:
+			if t.IncastN < 1 || t.IncastN > hosts-1 {
+				return fmt.Errorf("scenario: fat-tree incast of %d flows on %d hosts (want 1..%d)", t.IncastN, hosts, hosts-1)
+			}
+			return nil
+		default:
+			return fmt.Errorf("scenario: unknown fat-tree placement %d", t.Placement)
+		}
 	default:
 		return fmt.Errorf("scenario: unknown topology kind %d", t.Kind)
 	}
@@ -143,6 +232,16 @@ func (t Topology) FlowCount(dumbbellSenders int) int {
 			return 0
 		}
 		return t.Graph.NumFlows()
+	case KindFatTree:
+		hosts := t.FatTreeK * t.FatTreeK * t.FatTreeK / 4
+		switch t.Placement {
+		case PlacementAllToAll:
+			return hosts * (hosts - 1)
+		case PlacementIncast:
+			return t.IncastN
+		default:
+			return hosts
+		}
 	default:
 		return dumbbellSenders
 	}
@@ -303,9 +402,57 @@ func (s *Spec) Layout() (*topo.Graph, error) {
 		return topo.ParkingLotGraph(rates, hop, s.Topology.longFlows(), s.Topology.CrossTraffic), nil
 	case KindGraph:
 		return s.Topology.Graph, nil
+	case KindFatTree:
+		return s.fatTreeLayout()
 	default:
 		return nil, fmt.Errorf("scenario: unknown topology kind %d", s.Topology.Kind)
 	}
+}
+
+// fatTreeLayout expands the fat-tree family: the switch fabric at the
+// spec's rates, per-tier delays derived from MinRTT (an inter-pod flow
+// crosses 6 links each way, so each hop contributes MinRTT/12 of
+// propagation and the farthest flows see exactly MinRTT), the spec's
+// routing policy, and the declared flow placement.
+func (s *Spec) fatTreeLayout() (*topo.Graph, error) {
+	t := s.Topology
+	if s.MinRTT <= 0 {
+		return nil, fmt.Errorf("scenario: fat-tree with non-positive MinRTT %v", s.MinRTT)
+	}
+	hop := s.MinRTT / 12
+	if hop <= 0 {
+		return nil, fmt.Errorf("scenario: fat-tree hop delay underflows with MinRTT %v", s.MinRTT)
+	}
+	if s.LinkSpeed <= 0 {
+		return nil, fmt.Errorf("scenario: fat-tree with non-positive link speed %v", s.LinkSpeed)
+	}
+	ft, err := topo.FatTree(t.FatTreeK, s.LinkSpeed, topo.FatTreeDelays{Host: hop, Pod: hop, Core: hop})
+	if err != nil {
+		return nil, err
+	}
+	for i := range ft.G.Edges {
+		if r := s.linkRate(i); r != ft.G.Edges[i].Rate {
+			if r <= 0 {
+				return nil, fmt.Errorf("scenario: fat-tree link %d has non-positive speed %v", i, r)
+			}
+			ft.G.Edges[i].Rate = r
+		}
+	}
+	ft.G.Routing = t.Routing
+	switch t.Placement {
+	case PlacementPermutation:
+		err = ft.AddPermutation()
+	case PlacementAllToAll:
+		err = ft.AddAllToAll()
+	case PlacementIncast:
+		err = ft.AddIncast(0, t.IncastN)
+	default:
+		err = fmt.Errorf("scenario: unknown fat-tree placement %d", t.Placement)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ft.G, nil
 }
 
 // Result reports one flow's outcome.

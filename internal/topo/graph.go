@@ -27,40 +27,67 @@ type Edge struct {
 	Buffer int `json:"buffer,omitempty"`
 }
 
-// Route is one flow's path through a Graph: the edges it traverses in
-// order, and the delay of its uncongested reverse (ACK) path.
+// Route is one flow's path set through a Graph: the primary path (the
+// edges it traverses in order), optional equal-cost alternative paths,
+// and the delay of its uncongested reverse (ACK) path.
 type Route struct {
 	// Links lists edge indices in traversal order. A flow's packets
 	// enter Links[0], exit each edge into the next, and reach the
 	// flow's receiver after the last.
 	Links []int `json:"links"`
+	// Alts lists equal-cost alternative paths, each an edge walk like
+	// Links. All of a flow's paths must start at the same edge (the
+	// host's single uplink — the sender owns one NIC), and the union
+	// of per-edge successor choices must be acyclic; Validate enforces
+	// both. How packets spread over the set is the Graph's Routing
+	// policy.
+	Alts [][]int `json:"alts,omitempty"`
 	// Reverse is the reverse-path delay ACKs experience. Zero means
 	// "equal to the forward propagation sum" (symmetric paths, the
 	// common case).
 	Reverse units.Duration `json:"reverse,omitempty"`
 }
 
+// paths lists the route's paths: primary first, then alternates.
+func (rt *Route) paths() [][]int {
+	ps := make([][]int, 0, 1+len(rt.Alts))
+	ps = append(ps, rt.Links)
+	return append(ps, rt.Alts...)
+}
+
 // Graph is a declarative multi-hop topology: links are edges, and every
-// flow carries an explicit path. Build compiles the graph once into a
-// netsim.Network whose per-link next-hop tables preserve the simulator's
-// allocation-free per-packet forwarding.
+// flow carries an explicit path set. Build compiles the graph once into
+// a netsim.Network whose per-link next-hop tables preserve the
+// simulator's allocation-free per-packet forwarding.
 type Graph struct {
 	// Edges are the graph's unidirectional links.
 	Edges []Edge `json:"edges"`
-	// Routes holds one path per flow, in flow order.
+	// Routes holds one path set per flow, in flow order.
 	Routes []Route `json:"routes"`
+	// Routing selects how flows with alternative paths spread packets
+	// over them (ECMP, Spray, Adaptive). Irrelevant — and omitted from
+	// JSON — for single-path graphs, where the zero value (ECMP)
+	// compiles to exactly the classic tables.
+	Routing RoutingPolicy `json:"routing,omitempty"`
 }
 
 // Validate checks the description: at least one edge and one route,
-// positive rates, non-negative delays, and every route a non-empty
-// walk over distinct in-range edges. It returns nil for a buildable
-// graph.
+// positive rates, non-negative delays, every path (primary and
+// alternates) a non-empty walk over distinct in-range edges, all of a
+// flow's paths sharing their first edge, a known routing policy, and —
+// for multipath routes — an acyclic union of per-edge successor
+// choices, so per-packet selection that mixes segments of different
+// paths still terminates at the receiver. It returns nil for a
+// buildable graph.
 func (g *Graph) Validate() error {
 	if len(g.Edges) == 0 {
 		return fmt.Errorf("topo: graph has no edges")
 	}
 	if len(g.Routes) == 0 {
 		return fmt.Errorf("topo: graph has no routes")
+	}
+	if !g.Routing.Valid() {
+		return fmt.Errorf("topo: unknown routing policy %d", int(g.Routing))
 	}
 	for i, e := range g.Edges {
 		if e.Rate <= 0 {
@@ -74,37 +101,123 @@ func (g *Graph) Validate() error {
 		}
 	}
 	for f, rt := range g.Routes {
-		if len(rt.Links) == 0 {
-			return fmt.Errorf("topo: route %d is empty", f)
-		}
 		if rt.Reverse < 0 {
 			return fmt.Errorf("topo: route %d has negative reverse delay %v", f, rt.Reverse)
 		}
-		seen := make(map[int]bool, len(rt.Links))
-		for _, li := range rt.Links {
-			if li < 0 || li >= len(g.Edges) {
-				return fmt.Errorf("topo: route %d references edge %d of %d", f, li, len(g.Edges))
+		for pi, path := range rt.paths() {
+			if len(path) == 0 {
+				return fmt.Errorf("topo: route %d path %d is empty", f, pi)
 			}
-			if seen[li] {
-				return fmt.Errorf("topo: route %d visits edge %d twice", f, li)
+			seen := make(map[int]bool, len(path))
+			for _, li := range path {
+				if li < 0 || li >= len(g.Edges) {
+					return fmt.Errorf("topo: route %d path %d references edge %d of %d", f, pi, li, len(g.Edges))
+				}
+				if seen[li] {
+					return fmt.Errorf("topo: route %d path %d visits edge %d twice", f, pi, li)
+				}
+				seen[li] = true
 			}
-			seen[li] = true
+			if path[0] != rt.Links[0] {
+				return fmt.Errorf("topo: route %d path %d starts at edge %d, not the flow's first hop %d (all paths share the sender's uplink)",
+					f, pi, path[0], rt.Links[0])
+			}
+		}
+		if len(rt.Alts) > 0 {
+			if err := g.checkAcyclic(f); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
+// checkAcyclic verifies flow f's union successor relation — the set of
+// next-edge choices a packet can face at each edge, over all of the
+// flow's paths — contains no cycle. Each path is individually acyclic,
+// but per-packet selection can mix segments of different paths, so the
+// union must be a DAG for forwarding to terminate.
+func (g *Graph) checkAcyclic(f int) error {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[int]uint8)
+	var visit func(li int) error
+	visit = func(li int) error {
+		switch state[li] {
+		case onStack:
+			return fmt.Errorf("topo: route %d's alternative paths create a forwarding cycle through edge %d", f, li)
+		case done:
+			return nil
+		}
+		state[li] = onStack
+		for _, s := range g.succEdges(f, li) {
+			if s < 0 {
+				continue // receiver: terminal
+			}
+			if err := visit(s); err != nil {
+				return err
+			}
+		}
+		state[li] = done
+		return nil
+	}
+	return visit(g.Routes[f].Links[0])
+}
+
+// succEdges returns flow f's deduplicated successor choices at edge li,
+// in deterministic path order (primary path first, then alternates);
+// -1 denotes the flow's receiver. Empty when the flow never traverses
+// li. Route compilation and cycle checking share this relation, so the
+// compiled tables follow exactly the validated graph.
+func (g *Graph) succEdges(f, li int) []int {
+	var out []int
+	add := func(s int) {
+		for _, x := range out {
+			if x == s {
+				return
+			}
+		}
+		out = append(out, s)
+	}
+	for _, path := range g.Routes[f].paths() {
+		for pos, l := range path {
+			if l != li {
+				continue
+			}
+			if pos+1 < len(path) {
+				add(path[pos+1])
+			} else {
+				add(-1)
+			}
+			break
+		}
+	}
+	return out
+}
+
 // NumFlows reports the number of flows the graph routes.
 func (g *Graph) NumFlows() int { return len(g.Routes) }
 
-// PathProp is flow f's one-way forward propagation delay: the sum of
-// its path's edge delays.
+// PathProp is flow f's minimum one-way forward propagation delay: the
+// smallest edge-delay sum over the flow's paths. For single-path routes
+// (and fat-trees with symmetric tier delays, where every path sums the
+// same) this is just the path's delay; under asymmetric alternates it
+// is the best case, which is what a minimum-RTT estimator converges to.
 func (g *Graph) PathProp(f int) units.Duration {
-	var sum units.Duration
-	for _, li := range g.Routes[f].Links {
-		sum += g.Edges[li].Prop
+	var best units.Duration
+	for pi, path := range g.Routes[f].paths() {
+		var sum units.Duration
+		for _, li := range path {
+			sum += g.Edges[li].Prop
+		}
+		if pi == 0 || sum < best {
+			best = sum
+		}
 	}
-	return sum
+	return best
 }
 
 // ReverseDelay is flow f's reverse-path (ACK) delay: the route's
@@ -122,25 +235,28 @@ func (g *Graph) MinRTT(f int) units.Duration {
 	return g.PathProp(f) + g.ReverseDelay(f)
 }
 
-// FlowsOn reports how many routes traverse edge li.
+// FlowsOn reports how many flows can traverse edge li — a flow counts
+// if any of its paths (primary or alternate) includes the edge.
 func (g *Graph) FlowsOn(li int) int {
 	n := 0
-	for _, rt := range g.Routes {
-		for _, l := range rt.Links {
-			if l == li {
-				n++
-				break
-			}
+	for f := range g.Routes {
+		if len(g.succEdges(f, li)) > 0 {
+			n++
 		}
 	}
 	return n
 }
 
 // FairShare is flow f's equal split of its path bottleneck: the minimum
-// over the path's edges of the edge rate divided by the number of flows
-// routed over that edge. It is derived from path membership, so it is
-// correct for any graph — including parking lots whose links carry
-// other than two flows each.
+// over the primary path's edges of the edge rate divided by the number
+// of flows routed over that edge. It is derived from path membership,
+// so it is correct for any single-path graph — including parking lots
+// whose links carry other than two flows each. For multipath routes it
+// is an approximation along the primary path: contending flows that
+// merely *can* use an edge still count against it, so symmetric
+// fat-trees (where every flow's paths are statistically alike) get the
+// intended per-host share while asymmetric placements read as the
+// conservative single-path bound.
 func (g *Graph) FairShare(f int) units.Rate {
 	var best units.Rate
 	for i, li := range g.Routes[f].Links {
@@ -181,27 +297,71 @@ func validateBuild(g *Graph, queues []queue.Discipline, flows []FlowSpec) error 
 	return nil
 }
 
-// installRoutes compiles each flow's path into per-link next-hop
-// delivery chains: a flat flow-indexed table per link, so per-packet
-// forwarding is a single slice load.
+// ecmpIndex is the compile-time ECMP flow-hash: a splitmix64-style
+// avalanche over (flow, link) reduced modulo the candidate count. Being
+// a pure function of the pair, every packet of a flow takes the same
+// path (path stability), replays are deterministic, and different links
+// decorrelate so a flow's choices don't collapse onto one spine.
+func ecmpIndex(flow, link, n int) int {
+	h := uint64(flow)*0x9e3779b97f4a7c15 ^ uint64(link)*0xbf58476d1ce4e5b9
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// installRoutes compiles each flow's path set into per-link next-hop
+// delivery tables. Fanout-1 entries (all entries of a single-path
+// graph) compile to the classic flat table — a single slice load per
+// packet. Fanout>1 entries compile per policy: ECMP resolves its
+// flow-hash here, leaving a single next hop (so ECMP forwarding is the
+// fast path too); Spray and Adaptive install the candidate set and a
+// packet-time selector. Links with no fanout>1 entry get the plain
+// route table, so classic topologies are untouched.
 func installRoutes(g *Graph, links []*netsim.Link, receivers []*netsim.Receiver) {
+	nf := len(g.Routes)
 	for li := range links {
-		next := make([]netsim.Deliverer, len(g.Routes))
-		for f, rt := range g.Routes {
-			for pos, l := range rt.Links {
-				if l != li {
-					continue
+		next := make([]netsim.Deliverer, nf)
+		var multi []netsim.NextHops
+		for f := range g.Routes {
+			succ := g.succEdges(f, li)
+			switch {
+			case len(succ) == 0:
+				// Flow never traverses this link.
+			case len(succ) == 1:
+				next[f] = hopDeliverer(succ[0], f, links, receivers)
+			case g.Routing == ECMP:
+				next[f] = hopDeliverer(succ[ecmpIndex(f, li, len(succ))], f, links, receivers)
+			default:
+				if multi == nil {
+					multi = make([]netsim.NextHops, nf)
 				}
-				if pos+1 < len(rt.Links) {
-					next[f] = links[rt.Links[pos+1]]
-				} else {
-					next[f] = receivers[f]
+				cands := make([]netsim.Deliverer, len(succ))
+				qs := make([]queue.Discipline, len(succ))
+				for i, s := range succ {
+					cands[i] = hopDeliverer(s, f, links, receivers)
+					if s >= 0 {
+						qs[i] = links[s].Queue()
+					}
 				}
-				break
+				multi[f] = netsim.NextHops{Cands: cands, Queues: qs}
 			}
 		}
-		links[li].SetRoute(next)
+		if multi != nil {
+			links[li].SetMultiRoute(next, multi, g.Routing.Selector())
+		} else {
+			links[li].SetRoute(next)
+		}
 	}
+}
+
+// hopDeliverer resolves a successor-edge index (-1 = receiver) to the
+// Deliverer packets of flow f are handed to.
+func hopDeliverer(succ, f int, links []*netsim.Link, receivers []*netsim.Receiver) netsim.Deliverer {
+	if succ < 0 {
+		return receivers[f]
+	}
+	return links[succ]
 }
 
 // Build compiles the graph into a runnable network: one netsim.Link per

@@ -1,0 +1,106 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"learnability/internal/netsim"
+)
+
+// RoutingPolicy selects how a flow's packets are spread over its
+// equal-cost alternative paths (Route.Alts). It is part of the
+// declarative Graph description, so it serializes with the graph and
+// rides the sharded trainer's config wire format.
+//
+// ECMP is resolved entirely at compile time — the flow-hash picks one
+// candidate per (link, flow) pair when routes are installed — so ECMP
+// forwarding is byte-for-byte the classic single-path fast path and
+// every packet of a flow takes the same path. SPRAY and ADAPTIVE defer
+// the choice to packet time (netsim.PathSelector).
+type RoutingPolicy int
+
+// The routing policies, mirroring the ultra-ethernet-sim taxonomy:
+// flow-hash, per-packet round-robin, and least-queue.
+const (
+	// ECMP hashes (flow, link) over the candidate set at compile time;
+	// path-stable, zero per-packet cost.
+	ECMP RoutingPolicy = iota
+	// Spray round-robins each flow's candidates per packet (maximal
+	// path utilization, induces reordering).
+	Spray
+	// Adaptive sends each packet to the candidate next hop whose
+	// ingress queue is currently shortest.
+	Adaptive
+)
+
+// routingNames maps policies to their canonical wire/CLI names.
+var routingNames = map[RoutingPolicy]string{
+	ECMP:     "ecmp",
+	Spray:    "spray",
+	Adaptive: "adaptive",
+}
+
+// String returns the policy's canonical lower-case name.
+func (p RoutingPolicy) String() string {
+	if s, ok := routingNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("RoutingPolicy(%d)", int(p))
+}
+
+// Valid reports whether p is one of the defined policies.
+func (p RoutingPolicy) Valid() bool {
+	_, ok := routingNames[p]
+	return ok
+}
+
+// Selector maps a packet-time policy to its netsim selector. ECMP has
+// no packet-time selector (it compiles away); asking for one is a
+// programming error.
+func (p RoutingPolicy) Selector() netsim.PathSelector {
+	switch p {
+	case Spray:
+		return netsim.SelectSpray
+	case Adaptive:
+		return netsim.SelectAdaptive
+	}
+	panic("topo: " + p.String() + " has no packet-time selector")
+}
+
+// MarshalJSON encodes the policy as its canonical name, keeping graph
+// JSON (and the shard Cfg blob) self-describing rather than exposing
+// enum ordinals.
+func (p RoutingPolicy) MarshalJSON() ([]byte, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("topo: cannot marshal unknown routing policy %d", int(p))
+	}
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a policy name, rejecting unknown names and
+// non-string encodings outright — a config that asks for a routing
+// policy this build does not implement must fail loudly, not degrade
+// to ECMP (the zero value).
+func (p *RoutingPolicy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("topo: routing policy must be a string name: %w", err)
+	}
+	v, err := ParseRoutingPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ParseRoutingPolicy resolves a policy name ("ecmp", "spray",
+// "adaptive") to its value; CLI flags and the JSON decoder share it.
+func ParseRoutingPolicy(s string) (RoutingPolicy, error) {
+	for p, name := range routingNames {
+		if s == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("topo: unknown routing policy %q (want ecmp, spray, or adaptive)", s)
+}

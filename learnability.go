@@ -168,8 +168,33 @@ type (
 	TopoGraph = topo.Graph
 	// TopoEdge is one unidirectional link of a TopoGraph.
 	TopoEdge = topo.Edge
-	// TopoRoute is one flow's path through a TopoGraph.
+	// TopoRoute is one flow's path set through a TopoGraph.
 	TopoRoute = topo.Route
+	// RoutingPolicy spreads a flow's packets over its equal-cost
+	// alternative paths (ECMP, Spray, Adaptive).
+	RoutingPolicy = topo.RoutingPolicy
+	// FatTreePlacement selects the fat-tree flow placement.
+	FatTreePlacement = scenario.Placement
+)
+
+// Multipath routing policies.
+const (
+	// ECMP hashes each flow onto one path (path-stable).
+	ECMP = topo.ECMP
+	// Spray round-robins each flow's paths per packet.
+	Spray = topo.Spray
+	// Adaptive picks the least-queued next hop per packet.
+	Adaptive = topo.Adaptive
+)
+
+// Fat-tree flow placements.
+const (
+	// PlacementPermutation gives every host one pod-crossing flow.
+	PlacementPermutation = scenario.PlacementPermutation
+	// PlacementAllToAll places one flow per ordered host pair.
+	PlacementAllToAll = scenario.PlacementAllToAll
+	// PlacementIncast converges IncastN flows on host 0.
+	PlacementIncast = scenario.PlacementIncast
 )
 
 // The paper's two topologies.
@@ -195,6 +220,18 @@ func ParkingLotN(hops int, cross bool) Topology { return scenario.ParkingLotN(ho
 
 // GraphTopology wraps an explicit link/path graph description.
 func GraphTopology(g *TopoGraph) Topology { return scenario.GraphTopology(g) }
+
+// FatTreeTopology describes a k-ary fat-tree (k³/4 hosts) with a
+// pod-crossing permutation placement under the given routing policy.
+func FatTreeTopology(k int, routing RoutingPolicy) Topology {
+	return scenario.FatTreeTopology(k, routing)
+}
+
+// FatTreeIncast describes a k-ary fat-tree with n flows converging on
+// host 0 under the given routing policy.
+func FatTreeIncast(k, n int, routing RoutingPolicy) Topology {
+	return scenario.FatTreeIncast(k, n, routing)
+}
 
 // RunScenario executes a scenario and returns per-flow results. It
 // returns an error for an invalid spec (bad topology, sender-count

@@ -48,7 +48,7 @@ fi
 
 echo "== micro benchmarks (sim / netsim / remycc) =="
 go test -run '^$' \
-  -bench 'BenchmarkScheduler$|BenchmarkSchedulerCancel|BenchmarkLinkSaturation|BenchmarkFlowPath|BenchmarkWhiskerLookup$|BenchmarkWhiskerLookupUncached' \
+  -bench 'BenchmarkScheduler$|BenchmarkSchedulerCancel|BenchmarkLinkSaturation|BenchmarkLinkFanout|BenchmarkFlowPath|BenchmarkWhiskerLookup$|BenchmarkWhiskerLookupUncached' \
   -benchmem -benchtime "$MICRO_BENCHTIME" -count "$BENCH_COUNT" \
   ./internal/sim/ ./internal/netsim/ ./internal/cc/remycc/ | tee "$RAW"
 
@@ -58,9 +58,10 @@ go test -run '^$' -bench 'BenchmarkShardCodec' \
   ./internal/remy/shard/ | tee -a "$RAW"
 
 echo "== scenario + trainer benchmarks =="
-# BenchmarkScenarioRun matches both the dumbbell fast path and
+# BenchmarkScenarioRun matches the dumbbell fast path,
 # BenchmarkScenarioRunParkingLot (the multi-hop forwarding-chain path),
-# so the regression gate guards the graph engine on both shapes.
+# and BenchmarkScenarioRunFatTree (the multipath spray path), so the
+# regression gate guards the graph engine on all three shapes.
 go test -run '^$' -bench 'BenchmarkScenarioRun|BenchmarkTrainer' \
   -benchmem -benchtime "$SCENARIO_BENCHTIME" -count "$BENCH_COUNT" . | tee -a "$RAW"
 

@@ -372,6 +372,40 @@ func BenchmarkScenarioRunFatTree(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioRunECN measures the signal-plane hot path: a 30-s
+// Tao dumbbell over a CE-marking CoDel gateway with an on/off
+// bottleneck, so every dequeue runs the marking control law, every ACK
+// echoes CE, and every tick updates the ecn_frac memory dimension.
+// Alongside BenchmarkScenarioRun (the ECN-off dumbbell) it gates the
+// tentpole's cost: marking must stay as cheap as dropping.
+func BenchmarkScenarioRunECN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := learnability.Spec{
+			Topology:  learnability.DumbbellTopology,
+			LinkSpeed: 32 * learnability.Mbps,
+			MinRTT:    150 * learnability.Millisecond,
+			Buffering: learnability.CoDelAQM,
+			BufferBDP: 5,
+			ECN:       true,
+			MeanOn:    learnability.Second,
+			MeanOff:   learnability.Second,
+			Duration:  30 * learnability.Second,
+			Seed:      learnability.NewSeed(uint64(i)),
+			VarRate: learnability.VarRate{
+				Kind:      learnability.VarRateOnOff,
+				LowFactor: 0.5,
+				MeanHigh:  learnability.Second,
+				MeanLow:   learnability.Second,
+			},
+			Senders: []learnability.SpecSender{
+				{Alg: learnability.NewRemyCC(learnability.NewWhiskerTree()), Delta: 1},
+				{Alg: learnability.NewRemyCC(learnability.NewWhiskerTree()), Delta: 1},
+			},
+		}
+		learnability.MustRunScenario(spec)
+	}
+}
+
 // BenchmarkVegasSqueeze regenerates the §4.5 premise: Vegas holds its
 // own against itself but is squeezed out by loss-triggered TCP.
 func BenchmarkVegasSqueeze(b *testing.B) {

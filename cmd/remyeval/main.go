@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"learnability/internal/cc"
 	"learnability/internal/cc/cubic"
@@ -42,6 +44,15 @@ func main() {
 		meanOn    = flag.Float64("on", 1, "mean on time (s)")
 		meanOff   = flag.Float64("off", 1, "mean off time (s)")
 		bufBDP    = flag.Float64("buffer-bdp", 5, "buffer in BDPs; 0 = no-drop")
+		queueKind = flag.String("queue", "droptail", "gateway queue: droptail, codel, or sfqcodel")
+		ecn       = flag.Bool("ecn", false, "enable ECN: senders mark packets ECT, gateways CE-mark instead of dropping, ACKs echo the mark")
+		ecnThresh = flag.Int("ecn-threshold", 0, "droptail ECN marking threshold in bytes (0 = half the buffer); codel/sfqcodel mark on sojourn time instead")
+		vrKind    = flag.String("varrate", "off", "link-rate modulation: off, onoff, or markov")
+		vrLow     = flag.Float64("varrate-low", 0.5, "onoff degraded rate as a fraction of the link rate")
+		vrMeanHi  = flag.Float64("varrate-mean-high", 1, "onoff mean dwell at full rate (s)")
+		vrMeanLo  = flag.Float64("varrate-mean-low", 1, "onoff mean dwell at degraded rate (s)")
+		vrFactors = flag.String("varrate-factors", "1,0.5,0.25", "markov rate factors, comma-separated multiples of the link rate (first is initial)")
+		vrDwell   = flag.Float64("varrate-dwell", 0.5, "markov mean dwell per state (s)")
 		delta     = flag.Float64("delta", 1, "objective delay weight")
 		dur       = flag.Float64("duration", 30, "simulated seconds per run")
 		replicas  = flag.Int("replicas", 4, "runs per point")
@@ -93,9 +104,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	buffering := scenario.FiniteDropTail
+	buffering, err := scenario.ParseBuffering(*queueKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remyeval:", err)
+		os.Exit(2)
+	}
 	if *bufBDP == 0 {
 		buffering = scenario.NoDrop
+	}
+	varRate, err := parseVarRate(*vrKind, *vrLow, *vrMeanHi, *vrMeanLo, *vrFactors, *vrDwell)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remyeval:", err)
+		os.Exit(2)
 	}
 
 	protos := []struct {
@@ -119,15 +139,18 @@ func main() {
 			root := rng.New(*seed).Split(p.name).SplitN("pt", i)
 			for rep := 0; rep < *replicas; rep++ {
 				spec := scenario.Spec{
-					Topology:  evalTopo,
-					LinkSpeed: units.Rate(mbps) * units.Mbps,
-					MinRTT:    units.DurationFromSeconds(*rtt / 1e3),
-					Buffering: buffering,
-					BufferBDP: *bufBDP,
-					MeanOn:    units.DurationFromSeconds(*meanOn),
-					MeanOff:   units.DurationFromSeconds(*meanOff),
-					Duration:  units.DurationFromSeconds(*dur),
-					Seed:      root.SplitN("rep", rep),
+					Topology:          evalTopo,
+					LinkSpeed:         units.Rate(mbps) * units.Mbps,
+					MinRTT:            units.DurationFromSeconds(*rtt / 1e3),
+					Buffering:         buffering,
+					BufferBDP:         *bufBDP,
+					ECN:               *ecn,
+					ECNThresholdBytes: *ecnThresh,
+					VarRate:           varRate,
+					MeanOn:            units.DurationFromSeconds(*meanOn),
+					MeanOff:           units.DurationFromSeconds(*meanOff),
+					Duration:          units.DurationFromSeconds(*dur),
+					Seed:              root.SplitN("rep", rep),
 				}
 				for s := 0; s < nFlows; s++ {
 					spec.Senders = append(spec.Senders, scenario.Sender{Alg: p.mk(), Delta: *delta})
@@ -150,4 +173,34 @@ func main() {
 				mbps, p.name, stats.Mean(tpts), stats.Mean(delays), stats.Mean(objs))
 		}
 	}
+}
+
+// parseVarRate assembles a scenario.VarRate from the -varrate* flags;
+// parameters of the unselected family are ignored.
+func parseVarRate(kind string, low, meanHigh, meanLow float64, factors string, dwell float64) (scenario.VarRate, error) {
+	k, err := scenario.ParseVarRateKind(kind)
+	if err != nil {
+		return scenario.VarRate{}, err
+	}
+	vr := scenario.VarRate{Kind: k}
+	switch k {
+	case scenario.VarRateOnOff:
+		vr.LowFactor = low
+		vr.MeanHigh = units.DurationFromSeconds(meanHigh)
+		vr.MeanLow = units.DurationFromSeconds(meanLow)
+	case scenario.VarRateMarkov:
+		for _, f := range strings.Split(factors, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return scenario.VarRate{}, fmt.Errorf("bad -varrate-factors entry %q", f)
+			}
+			vr.Factors = append(vr.Factors, x)
+		}
+		vr.MeanDwell = units.DurationFromSeconds(dwell)
+	}
+	return vr, nil
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"learnability/internal/cc/remycc"
@@ -45,9 +46,18 @@ func main() {
 		meanOn     = flag.Float64("on", 1, "mean on time (s)")
 		meanOff    = flag.Float64("off", 1, "mean off time (s)")
 		bufBDP     = flag.Float64("buffer-bdp", 5, "gateway buffer in bandwidth-delay products; 0 = no-drop")
+		queueKind  = flag.String("queue", "droptail", "gateway queue: droptail, codel, or sfqcodel")
+		ecn        = flag.Bool("ecn", false, "enable ECN: senders mark packets ECT, gateways CE-mark instead of dropping, ACKs echo the mark")
+		ecnThresh  = flag.Int("ecn-threshold", 0, "droptail ECN marking threshold in bytes (0 = half the buffer); codel/sfqcodel mark on sojourn time instead")
+		vrKind     = flag.String("varrate", "off", "link-rate modulation: off, onoff, or markov")
+		vrLow      = flag.Float64("varrate-low", 0.5, "onoff degraded rate as a fraction of the link rate")
+		vrMeanHigh = flag.Float64("varrate-mean-high", 1, "onoff mean dwell at full rate (s)")
+		vrMeanLow  = flag.Float64("varrate-mean-low", 1, "onoff mean dwell at degraded rate (s)")
+		vrFactors  = flag.String("varrate-factors", "1,0.5,0.25", "markov rate factors, comma-separated multiples of the link rate (first is initial)")
+		vrDwell    = flag.Float64("varrate-dwell", 0.5, "markov mean dwell per state (s)")
 		delta      = flag.Float64("delta", 1, "objective delay weight")
 		aimdProb   = flag.Float64("aimd-prob", 0, "probability one sender is AIMD TCP (TCP-aware training)")
-		knockout   = flag.String("knockout", "", "signal to remove: rec_ewma, slow_rec_ewma, send_ewma, rtt_ratio")
+		knockout   = flag.String("knockout", "", "signal to remove: rec_ewma, slow_rec_ewma, send_ewma, rtt_ratio, ecn_frac")
 		gens       = flag.Int("generations", 3, "whisker-split rounds")
 		passes     = flag.Int("passes", 2, "action-optimization passes per generation")
 		moves      = flag.Int("moves", 6, "hill-climb moves per whisker")
@@ -77,6 +87,8 @@ func main() {
 		mask = mask.Without(remycc.SendEWMA)
 	case "rtt_ratio":
 		mask = mask.Without(remycc.RTTRatio)
+	case "ecn_frac":
+		mask = mask.Without(remycc.ECNFraction)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown signal %q\n", *knockout)
 		os.Exit(2)
@@ -130,31 +142,43 @@ func main() {
 		os.Exit(2)
 	}
 
-	buffering := scenario.FiniteDropTail
+	buffering, err := scenario.ParseBuffering(*queueKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remytrain:", err)
+		os.Exit(2)
+	}
 	if *bufBDP == 0 {
 		buffering = scenario.NoDrop
+	}
+	varRate, err := parseVarRate(*vrKind, *vrLow, *vrMeanHigh, *vrMeanLow, *vrFactors, *vrDwell)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remytrain:", err)
+		os.Exit(2)
 	}
 	rttHi := *rttMax
 	if rttHi == 0 {
 		rttHi = *rttMin
 	}
 	cfg := remy.Config{
-		Topology:     topo,
-		LinkSpeedMin: units.Rate(*speedMin) * units.Mbps,
-		LinkSpeedMax: units.Rate(*speedMax) * units.Mbps,
-		MinRTTMin:    units.DurationFromSeconds(*rttMin / 1e3),
-		MinRTTMax:    units.DurationFromSeconds(rttHi / 1e3),
-		SendersMin:   *sendersMin,
-		SendersMax:   *sendersMax,
-		AIMDProb:     *aimdProb,
-		MeanOn:       units.DurationFromSeconds(*meanOn),
-		MeanOff:      units.DurationFromSeconds(*meanOff),
-		Buffering:    buffering,
-		BufferBDP:    *bufBDP,
-		Delta:        *delta,
-		Mask:         mask,
-		Duration:     units.DurationFromSeconds(*dur),
-		Replicas:     *replicas,
+		Topology:          topo,
+		LinkSpeedMin:      units.Rate(*speedMin) * units.Mbps,
+		LinkSpeedMax:      units.Rate(*speedMax) * units.Mbps,
+		MinRTTMin:         units.DurationFromSeconds(*rttMin / 1e3),
+		MinRTTMax:         units.DurationFromSeconds(rttHi / 1e3),
+		SendersMin:        *sendersMin,
+		SendersMax:        *sendersMax,
+		AIMDProb:          *aimdProb,
+		MeanOn:            units.DurationFromSeconds(*meanOn),
+		MeanOff:           units.DurationFromSeconds(*meanOff),
+		Buffering:         buffering,
+		BufferBDP:         *bufBDP,
+		ECN:               *ecn,
+		ECNThresholdBytes: *ecnThresh,
+		VarRate:           varRate,
+		Delta:             *delta,
+		Mask:              mask,
+		Duration:          units.DurationFromSeconds(*dur),
+		Replicas:          *replicas,
 	}
 
 	if err := cfg.Validate(); err != nil {
@@ -205,4 +229,34 @@ func main() {
 		}
 		fmt.Printf("shard cache: %d/%d results from worker caches (%.1f%% hit rate)\n", hits, total, pct)
 	}
+}
+
+// parseVarRate assembles a scenario.VarRate from the -varrate* flags;
+// parameters of the unselected family are ignored.
+func parseVarRate(kind string, low, meanHigh, meanLow float64, factors string, dwell float64) (scenario.VarRate, error) {
+	k, err := scenario.ParseVarRateKind(kind)
+	if err != nil {
+		return scenario.VarRate{}, err
+	}
+	vr := scenario.VarRate{Kind: k}
+	switch k {
+	case scenario.VarRateOnOff:
+		vr.LowFactor = low
+		vr.MeanHigh = units.DurationFromSeconds(meanHigh)
+		vr.MeanLow = units.DurationFromSeconds(meanLow)
+	case scenario.VarRateMarkov:
+		for _, f := range strings.Split(factors, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return scenario.VarRate{}, fmt.Errorf("bad -varrate-factors entry %q", f)
+			}
+			vr.Factors = append(vr.Factors, x)
+		}
+		vr.MeanDwell = units.DurationFromSeconds(dwell)
+	}
+	return vr, nil
 }

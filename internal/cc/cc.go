@@ -34,6 +34,12 @@ type Feedback struct {
 	// NewlyAcked is the number of packets newly acknowledged
 	// cumulatively by this ACK (>= 1).
 	NewlyAcked int
+
+	// ECNEcho reports that the ACK echoed a congestion-experienced (CE)
+	// mark: a marking queue on the forward path CE-marked the
+	// acknowledged packet instead of dropping it. Always false when the
+	// scenario does not enable ECN. Feeds RemyCC's ecn_frac signal.
+	ECNEcho bool
 }
 
 // Algorithm is a per-connection congestion controller. Implementations

@@ -19,7 +19,13 @@ import (
 const treeMagic = uint32('R') | uint32('T')<<8 | uint32('R')<<16 | uint32('E')<<24
 
 // treeCodecVersion is bumped whenever the binary layout changes.
-const treeCodecVersion = 1
+// Version 1 carried the paper's four-signal memory; version 2 widened
+// whiskers to five signals (ECNFraction). Version-1 payloads are still
+// decoded, with the missing dimension widened to the full ECN domain.
+const treeCodecVersion = 2
+
+// legacySignals is the per-whisker dimension count of codec version 1.
+const legacySignals = 4
 
 // treeHeaderSize is the fixed prefix: magic, version, whisker count.
 const treeHeaderSize = 4 + 4 + 4
@@ -67,33 +73,43 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if m := binary.LittleEndian.Uint32(data); m != treeMagic {
 		return fmt.Errorf("remycc: bad tree magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != treeCodecVersion {
+	ns := NumSignals
+	switch v := binary.LittleEndian.Uint32(data[4:]); v {
+	case treeCodecVersion:
+	case 1:
+		ns = legacySignals
+	default:
 		return fmt.Errorf("remycc: unsupported tree codec version %d", v)
 	}
 	n := int(binary.LittleEndian.Uint32(data[8:]))
 	if n == 0 {
 		return fmt.Errorf("remycc: binary tree has no whiskers")
 	}
-	if want := treeHeaderSize + n*whiskerWireSize; len(data) != want {
+	wireSize := (2*ns + 3) * 8
+	if want := treeHeaderSize + n*wireSize; len(data) != want {
 		return fmt.Errorf("remycc: binary tree is %d bytes, want %d for %d whiskers", len(data), want, n)
 	}
 	body := data[treeHeaderSize:]
 	f := func(i int) float64 {
 		return math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
 	}
+	full := FullDomain()
 	whiskers := make([]Whisker, n)
 	for i := range whiskers {
-		base := i * (2*NumSignals + 3)
+		base := i * (2*ns + 3)
 		w := &whiskers[i]
-		for d := 0; d < NumSignals; d++ {
+		// Dimensions a legacy payload does not carry span the full
+		// domain, so old four-signal trees stay valid partitions.
+		w.Domain = full
+		for d := 0; d < ns; d++ {
 			w.Domain.Lo[d] = f(base + d)
 		}
-		for d := 0; d < NumSignals; d++ {
-			w.Domain.Hi[d] = f(base + NumSignals + d)
+		for d := 0; d < ns; d++ {
+			w.Domain.Hi[d] = f(base + ns + d)
 		}
-		w.Action.WindowMult = f(base + 2*NumSignals)
-		w.Action.WindowIncr = f(base + 2*NumSignals + 1)
-		w.Action.Intersend = f(base + 2*NumSignals + 2)
+		w.Action.WindowMult = f(base + 2*ns)
+		w.Action.WindowIncr = f(base + 2*ns + 1)
+		w.Action.Intersend = f(base + 2*ns + 2)
 		if math.IsNaN(w.Action.WindowMult) || math.IsNaN(w.Action.WindowIncr) || math.IsNaN(w.Action.Intersend) {
 			return fmt.Errorf("remycc: whisker %d has NaN action", i)
 		}

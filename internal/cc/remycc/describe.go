@@ -83,11 +83,12 @@ func (t *Tree) Describe() string {
 	})
 	for _, i := range idx {
 		w := t.Whiskers[i]
-		fmt.Fprintf(&b, "  rec[%.3f,%.3f) slow[%.3f,%.3f) send[%.3f,%.3f) ratio[%.1f,%.1f) -> m=%.2f b=%+.1f tau=%.2fms\n",
+		fmt.Fprintf(&b, "  rec[%.3f,%.3f) slow[%.3f,%.3f) send[%.3f,%.3f) ratio[%.1f,%.1f) ecn[%.2f,%.2f) -> m=%.2f b=%+.1f tau=%.2fms\n",
 			w.Domain.Lo[RecEWMA], w.Domain.Hi[RecEWMA],
 			w.Domain.Lo[SlowRecEWMA], w.Domain.Hi[SlowRecEWMA],
 			w.Domain.Lo[SendEWMA], w.Domain.Hi[SendEWMA],
 			w.Domain.Lo[RTTRatio], w.Domain.Hi[RTTRatio],
+			w.Domain.Lo[ECNFraction], w.Domain.Hi[ECNFraction],
 			w.Action.WindowMult, w.Action.WindowIncr, w.Action.Intersend*1e3)
 	}
 	return b.String()

@@ -1,6 +1,7 @@
 // Package remycc implements the runtime of Remy-generated ("Tao")
-// congestion-control protocols: the four-signal memory the paper's
-// senders track (§3.3), the piecewise-constant match-action mapping
+// congestion-control protocols: the congestion-signal memory the
+// paper's senders track (§3.3, extended here with an ECN-mark-fraction
+// signal), the piecewise-constant match-action mapping
 // from memory to actions (whiskers, §3.5), and the cc.Algorithm that
 // executes it. The search procedure that *produces* whisker trees lives
 // in internal/remy.
@@ -13,13 +14,14 @@ import (
 	"learnability/internal/units"
 )
 
-// NumSignals is the number of congestion signals in the paper (§3.3).
-const NumSignals = 4
+// NumSignals is the number of congestion signals: the paper's four
+// (§3.3) plus the ECN-mark-fraction extension.
+const NumSignals = 5
 
-// Signal indexes the four congestion signals.
+// Signal indexes the congestion signals.
 type Signal int
 
-// The four signals, in the paper's order.
+// The signals, in the paper's order, followed by the extension.
 const (
 	// RecEWMA: EWMA of ACK interarrival times at the receiver, gain 1/8.
 	RecEWMA Signal = iota
@@ -30,6 +32,11 @@ const (
 	SendEWMA
 	// RTTRatio: most recent RTT divided by the minimum RTT seen.
 	RTTRatio
+	// ECNFraction: EWMA of the per-ACK CE-echo indicator (1 when the
+	// ACK echoed a congestion mark, else 0), gain 1/8 — the fraction of
+	// recent packets an ECN-marking queue flagged. Always 0 when the
+	// scenario runs without ECN.
+	ECNFraction
 )
 
 // String names the signal as in the paper.
@@ -43,6 +50,8 @@ func (s Signal) String() string {
 		return "send_ewma"
 	case RTTRatio:
 		return "rtt_ratio"
+	case ECNFraction:
+		return "ecn_frac"
 	default:
 		return fmt.Sprintf("signal(%d)", int(s))
 	}
@@ -52,18 +61,19 @@ func (s Signal) String() string {
 // the RTT ratio is dimensionless. Values are clamped into the domain
 // before whisker lookup.
 const (
-	MaxEWMA  = 1.0  // seconds: ack spacing beyond this is saturated
-	MinRatio = 1.0  // RTT can never be below the minimum RTT
-	MaxRatio = 16.0 // deep standing queues saturate here
+	MaxEWMA    = 1.0  // seconds: ack spacing beyond this is saturated
+	MinRatio   = 1.0  // RTT can never be below the minimum RTT
+	MaxRatio   = 16.0 // deep standing queues saturate here
+	MaxECNFrac = 1.0  // ecn_frac is a fraction in [0, 1] by construction
 )
 
-// Vector is a point in the 4-dimensional memory space:
-// [rec_ewma sec, slow_rec_ewma sec, send_ewma sec, rtt_ratio].
+// Vector is a point in the 5-dimensional memory space:
+// [rec_ewma sec, slow_rec_ewma sec, send_ewma sec, rtt_ratio, ecn_frac].
 type Vector [NumSignals]float64
 
 // InitialVector is the memory at connection start: no interarrival or
-// intersend history, RTT ratio 1.
-func InitialVector() Vector { return Vector{0, 0, 0, MinRatio} }
+// intersend history, RTT ratio 1, no congestion marks seen.
+func InitialVector() Vector { return Vector{0, 0, 0, MinRatio, 0} }
 
 // Clamp returns the vector with each coordinate forced into the domain.
 func (v Vector) Clamp() Vector {
@@ -81,6 +91,7 @@ func (v Vector) Clamp() Vector {
 		clampf(v[1], 0, MaxEWMA),
 		clampf(v[2], 0, MaxEWMA),
 		clampf(v[3], MinRatio, MaxRatio),
+		clampf(v[4], 0, MaxECNFrac),
 	}
 }
 
@@ -91,7 +102,7 @@ func (v Vector) Clamp() Vector {
 type SignalMask [NumSignals]bool
 
 // AllSignals enables every signal.
-func AllSignals() SignalMask { return SignalMask{true, true, true, true} }
+func AllSignals() SignalMask { return SignalMask{true, true, true, true, true} }
 
 // Without returns a copy of the mask with signal s disabled.
 func (m SignalMask) Without(s Signal) SignalMask {
@@ -102,7 +113,7 @@ func (m SignalMask) Without(s Signal) SignalMask {
 // Enabled reports whether signal s is observable.
 func (m SignalMask) Enabled(s Signal) bool { return m[s] }
 
-// Memory tracks the four congestion signals across a connection.
+// Memory tracks the congestion signals across a connection.
 type Memory struct {
 	mask SignalMask
 
@@ -110,6 +121,7 @@ type Memory struct {
 	slowRec cc.EWMA
 	send    cc.EWMA
 	ratio   float64
+	ecn     cc.EWMA
 
 	lastReceivedAt units.Time
 	lastSentAt     units.Time
@@ -130,6 +142,7 @@ func (m *Memory) Reset() {
 	m.slowRec = cc.NewEWMA(1.0 / 256)
 	m.send = cc.NewEWMA(1.0 / 8)
 	m.ratio = MinRatio
+	m.ecn = cc.NewEWMA(1.0 / 8)
 	m.haveReceived = false
 	m.haveSent = false
 }
@@ -159,6 +172,14 @@ func (m *Memory) Observe(fb cc.Feedback) {
 	m.lastSentAt = fb.SentAt
 	m.haveSent = true
 
+	if m.mask.Enabled(ECNFraction) {
+		mark := 0.0
+		if fb.ECNEcho {
+			mark = 1.0
+		}
+		m.ecn.Observe(mark)
+	}
+
 	if m.mask.Enabled(RTTRatio) && fb.MinRTT > 0 {
 		m.ratio = fb.RTT.Seconds() / fb.MinRTT.Seconds()
 		if m.ratio < MinRatio {
@@ -169,5 +190,5 @@ func (m *Memory) Observe(fb cc.Feedback) {
 
 // Vector returns the current memory point, clamped into the domain.
 func (m *Memory) Vector() Vector {
-	return Vector{m.rec.Value(), m.slowRec.Value(), m.send.Value(), m.ratio}.Clamp()
+	return Vector{m.rec.Value(), m.slowRec.Value(), m.send.Value(), m.ratio, m.ecn.Value()}.Clamp()
 }

@@ -68,8 +68,8 @@ type Box struct {
 // FullDomain is the box covering the whole memory space.
 func FullDomain() Box {
 	return Box{
-		Lo: Vector{0, 0, 0, MinRatio},
-		Hi: Vector{MaxEWMA, MaxEWMA, MaxEWMA, MaxRatio},
+		Lo: Vector{0, 0, 0, MinRatio, 0},
+		Hi: Vector{MaxEWMA, MaxEWMA, MaxEWMA, MaxRatio, MaxECNFrac},
 	}
 }
 
@@ -321,18 +321,30 @@ func (t *Tree) MarshalJSON() ([]byte, error) {
 	return json.Marshal((*alias)(t))
 }
 
-// UnmarshalJSON implements json.Unmarshaler with validation.
+// UnmarshalJSON implements json.Unmarshaler with validation. Trees
+// written before the ECNFraction signal existed carry four-element
+// domain corners; the missing trailing dimensions decode as the
+// zero-width interval [0, 0], which can never be a real whisker box, so
+// they are widened to the full domain and the old tree stays a valid
+// partition of the grown memory space.
 func (t *Tree) UnmarshalJSON(b []byte) error {
 	type alias Tree
 	if err := json.Unmarshal(b, (*alias)(t)); err != nil {
 		return err
 	}
+	full := FullDomain()
 	for i := range t.Whiskers {
 		a := t.Whiskers[i].Action
 		if math.IsNaN(a.WindowMult) || math.IsNaN(a.WindowIncr) || math.IsNaN(a.Intersend) {
 			return fmt.Errorf("remycc: whisker %d has NaN action", i)
 		}
 		t.Whiskers[i].Action = a.Clamp()
+		dom := &t.Whiskers[i].Domain
+		for d := 0; d < NumSignals; d++ {
+			if dom.Lo[d] == 0 && dom.Hi[d] == 0 {
+				dom.Lo[d], dom.Hi[d] = full.Lo[d], full.Hi[d]
+			}
+		}
 	}
 	if err := t.Validate(); err != nil {
 		return err

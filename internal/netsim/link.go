@@ -277,6 +277,21 @@ func (l *Link) Queue() queue.Discipline { return l.q }
 // Rate reports the link's rate.
 func (l *Link) Rate() units.Rate { return l.rate }
 
+// SetRate changes the link's rate mid-run (variable-rate links: on/off
+// and Markov-modulated wireless-like channels). The new rate applies
+// from the next packet serialization; a transmission already in flight
+// completes at the old rate, mirroring a real NIC finishing the frame
+// it has started. It allocates nothing and panics on a non-positive
+// rate. Reinit overwrites it for the next run.
+func (l *Link) SetRate(rate units.Rate) {
+	if rate <= 0 {
+		panic("netsim: SetRate with non-positive rate")
+	}
+	l.rate = rate
+	l.txMTU = rate.TransmissionTime(packet.MTU)
+	l.txACK = rate.TransmissionTime(packet.ACKSize)
+}
+
 // Prop reports the link's one-way propagation delay.
 func (l *Link) Prop() units.Duration { return l.prop }
 

@@ -42,6 +42,11 @@ type Sender struct {
 
 	on bool
 
+	// ecn stamps outgoing data packets as ECN-capable (ECT) so marking
+	// queues CE-mark them instead of dropping. Set per run by
+	// scenario.Spec.ECN; reset by Reinit.
+	ecn bool
+
 	// Transport state.
 	nextSeq int64 // next new sequence number to send
 	sndUna  int64 // lowest unacknowledged sequence number
@@ -114,6 +119,11 @@ func NewSender(sched *sim.Scheduler, flow int, alg cc.Algorithm, egress Delivere
 // data packets are drawn.
 func (s *Sender) SetPool(p *packet.Pool) { s.pool = p }
 
+// SetECN switches ECT stamping of outgoing data packets on or off.
+// With it on, marking queues CE-mark this flow's packets instead of
+// dropping them, and the CE echo returns in Feedback.ECNEcho.
+func (s *Sender) SetECN(on bool) { s.ecn = on }
+
 // Reinit restores a sender from a finished simulation to the
 // just-constructed state with a new congestion-control algorithm and
 // egress, keeping everything tied to the sender's identity: the
@@ -132,6 +142,7 @@ func (s *Sender) Reinit(alg cc.Algorithm, egress Deliverer) {
 	s.alg = alg
 	s.egress = egress
 	s.on = false
+	s.ecn = false
 	s.nextSeq = 0
 	s.sndUna = 0
 	if rb, ok := s.sb.(*ringScoreboard); ok {
@@ -250,6 +261,7 @@ func (s *Sender) OnAck(now units.Time, a *packet.Packet) {
 			SentAt:     a.EchoSentAt,
 			ReceivedAt: a.ReceivedAt,
 			NewlyAcked: newly,
+			ECNEcho:    a.CE,
 		})
 		s.resetRTO(now)
 	}
@@ -368,6 +380,7 @@ func (s *Sender) onTimeout(now units.Time) {
 func (s *Sender) sendPacket(now units.Time, seq int64, isRetx bool) {
 	p := s.pool.Data(s.flow, seq, now)
 	p.Retransmit = isRetx
+	p.ECT = s.ecn
 	s.stats.SentPackets++
 	if isRetx {
 		s.stats.Retransmits++

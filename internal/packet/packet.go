@@ -62,6 +62,16 @@ type Packet struct {
 	// is used by CoDel to compute sojourn time. It is queue-local
 	// scratch state: each queue overwrites it on Enqueue.
 	EnqueuedAt units.Time
+
+	// ECT marks the packet as ECN-capable transport: marking queues may
+	// CE-mark it instead of dropping it. Set by the sender on data
+	// packets when ECN is enabled; never set on ACKs.
+	ECT bool
+
+	// CE is the congestion-experienced mark. On a data packet it is set
+	// by a marking queue along the path; on an ACK it echoes the
+	// acknowledged data packet's CE back to the sender.
+	CE bool
 }
 
 // DataPacket returns a data packet of MTU bytes for the given flow and
@@ -81,5 +91,6 @@ func ACK(p *Packet, cumSeq int64, now units.Time) *Packet {
 		AckedSeq:   p.Seq,
 		EchoSentAt: p.SentAt,
 		ReceivedAt: now,
+		CE:         p.CE,
 	}
 }

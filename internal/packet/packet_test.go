@@ -39,3 +39,19 @@ func TestACK(t *testing.T) {
 		t.Fatalf("ACK size = %d", a.Size)
 	}
 }
+
+func TestACKEchoesCE(t *testing.T) {
+	p := DataPacket(1, 9, 0)
+	p.ECT = true
+	p.CE = true
+	a := ACK(p, 9, 0)
+	if !a.CE {
+		t.Fatal("ACK did not echo the data packet's CE mark")
+	}
+	if a.ECT {
+		t.Fatal("ACKs are not ECN-capable; ECT must stay clear")
+	}
+	if a2 := ACK(DataPacket(1, 10, 0), 10, 0); a2.CE {
+		t.Fatal("ACK invented a CE mark for an unmarked packet")
+	}
+}

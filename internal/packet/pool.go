@@ -118,5 +118,6 @@ func (pl *Pool) ACK(p *Packet, cumSeq int64, now units.Time) *Packet {
 	a.AckedSeq = p.Seq
 	a.EchoSentAt = p.SentAt
 	a.ReceivedAt = now
+	a.CE = p.CE
 	return a
 }

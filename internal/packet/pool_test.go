@@ -62,3 +62,24 @@ func TestDisabledPoolAllocates(t *testing.T) {
 		t.Fatal("disabled pool accepted a Put")
 	}
 }
+
+func TestPoolACKEchoesCE(t *testing.T) {
+	pl := &Pool{}
+	p := pl.Data(1, 3, 0)
+	p.ECT, p.CE = true, true
+	a := pl.ACK(p, 3, 0)
+	if !a.CE {
+		t.Fatal("pooled ACK did not echo the data packet's CE mark")
+	}
+	// Recycling must scrub the ECN bits: a marked packet returned to
+	// the pool comes back clean.
+	pl.Put(p)
+	pl.Put(a)
+	for i := 0; i < 4; i++ {
+		q := pl.Get()
+		if q.ECT || q.CE {
+			t.Fatalf("recycled packet kept ECN bits: ECT=%v CE=%v", q.ECT, q.CE)
+		}
+		pl.Put(q)
+	}
+}

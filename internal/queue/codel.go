@@ -37,8 +37,11 @@ type CoDel struct {
 	firstAboveTime units.Time // when sojourn first went above target; 0 = below
 	dropNext       units.Time // next scheduled drop while dropping
 	count          int        // drops since entering dropping state
-	lastCount      int        // count when dropping state was last exited
 	dropping       bool
+
+	// markECN switches the discipline from dropping to CE-marking
+	// ECN-capable packets wherever the control law schedules a drop.
+	markECN bool
 }
 
 // NewCoDel returns a CoDel queue with the standard 5 ms target and
@@ -66,6 +69,12 @@ func (c *CoDel) SetDropRecorder(r DropRecorder) { c.onDrop = r }
 // SetPool implements PoolAware: packets CoDel drops at dequeue time
 // (packets it had accepted) are recycled.
 func (c *CoDel) SetPool(pl *packet.Pool) { c.pool = pl }
+
+// SetECNMarking switches the discipline to CE-mark ECN-capable (ECT)
+// packets instead of dropping them wherever the CoDel control law
+// schedules a drop; the state machine advances identically either way.
+// Packets that are not ECT are still dropped.
+func (c *CoDel) SetECNMarking(on bool) { c.markECN = on }
 
 // Enqueue implements Discipline.
 func (c *CoDel) Enqueue(now units.Time, p *packet.Packet) bool {
@@ -116,7 +125,17 @@ func (c *CoDel) drop(now units.Time, p *packet.Packet) {
 	if c.onDrop != nil {
 		c.onDrop(now, p)
 	}
-	c.pool.Put(p)
+	if c.pool != nil {
+		c.pool.Put(p)
+	}
+}
+
+// mark CE-marks a packet the control law scheduled for a drop. Marked
+// packets stay in the delivery path: they count in Dequeued, never in
+// the drop counters.
+func (c *CoDel) mark(p *packet.Packet) {
+	p.CE = true
+	c.stats.MarksECN++
 }
 
 // Dequeue implements Discipline, applying the CoDel state machine: it
@@ -124,47 +143,54 @@ func (c *CoDel) drop(now units.Time, p *packet.Packet) {
 // transmit, or nil if the queue empties.
 func (c *CoDel) Dequeue(now units.Time) *packet.Packet {
 	p, okToDrop := c.doDequeue(now)
-	if p == nil {
-		c.dropping = false
-		return nil
-	}
 	if c.dropping {
 		if !okToDrop {
+			// Sojourn fell below target (or the queue emptied): leave
+			// dropping state.
 			c.dropping = false
-		} else {
-			for c.dropping && now >= c.dropNext {
-				c.drop(now, p)
+		}
+		for c.dropping && now >= c.dropNext {
+			if c.markECN && p.ECT {
+				// ECN: mark instead of drop and deliver this packet; the
+				// control law advances exactly as if it had dropped.
+				c.mark(p)
 				c.count++
-				p, okToDrop = c.doDequeue(now)
-				if p == nil {
-					c.dropping = false
-					return nil
-				}
-				if !okToDrop {
-					c.dropping = false
-				} else {
-					c.dropNext = c.controlLaw(c.dropNext)
-				}
+				c.dropNext = c.controlLaw(c.dropNext)
+				break
+			}
+			c.drop(now, p)
+			c.count++
+			p, okToDrop = c.doDequeue(now)
+			if !okToDrop {
+				c.dropping = false
+			} else {
+				c.dropNext = c.controlLaw(c.dropNext)
 			}
 		}
 	} else if okToDrop {
-		// Enter dropping state: drop this packet and forward the next.
-		c.drop(now, p)
-		p = c.q.pop()
+		// Enter dropping state: drop (or CE-mark) this packet; a drop
+		// forwards the successor through doDequeue so the sojourn /
+		// firstAboveTime bookkeeping stays coherent (RFC 8289 dodeque).
+		if c.markECN && p.ECT {
+			c.mark(p)
+		} else {
+			c.drop(now, p)
+			p, _ = c.doDequeue(now)
+		}
 		c.dropping = true
 		// Start count near where we left off if we were dropping
-		// recently (the "count decay" refinement).
-		if c.count > 2 && now.Sub(c.dropNext) < 8*c.interval {
+		// recently (the "count decay" refinement; RFC 8289 pseudocode
+		// uses a 16-interval reuse window).
+		if c.count > 2 && now.Sub(c.dropNext) < 16*c.interval {
 			c.count = c.count - 2
 		} else {
 			c.count = 1
 		}
-		c.lastCount = c.count
 		c.dropNext = c.controlLaw(now)
-		if p == nil {
-			c.dropping = false
-			return nil
-		}
+	}
+	if p == nil {
+		c.dropping = false
+		return nil
 	}
 	c.stats.Dequeued++
 	return p

@@ -37,6 +37,7 @@ type Stats struct {
 	Dequeued     int64 // packets handed to the link
 	DropsTail    int64 // packets dropped at enqueue (buffer overflow)
 	DropsAQM     int64 // packets dropped by active queue management
+	MarksECN     int64 // ECT packets CE-marked instead of dropped
 	BytesDropped int64 // total bytes across all drops
 }
 

@@ -72,6 +72,16 @@ func (s *SFQCoDel) SetPool(pl *packet.Pool) {
 	}
 }
 
+// SetECNMarking propagates ECN marking to every bin's CoDel instance:
+// ECT packets are CE-marked instead of dropped wherever a bin's control
+// law schedules a drop. Overflow evictions still drop (they make room
+// for an arriving packet, which marking cannot).
+func (s *SFQCoDel) SetECNMarking(on bool) {
+	for _, b := range s.bins {
+		b.SetECNMarking(on)
+	}
+}
+
 func (s *SFQCoDel) bin(flow int) int {
 	// Fibonacci hash of the flow ID; flows in our simulations are small
 	// integers, so mixing matters more than collision resistance.
@@ -108,7 +118,9 @@ func (s *SFQCoDel) Enqueue(now units.Time, p *packet.Packet) bool {
 		if s.onDrop != nil {
 			s.onDrop(now, victim)
 		}
-		s.pool.Put(victim)
+		if s.pool != nil {
+			s.pool.Put(victim)
+		}
 	}
 	i := s.bin(p.Flow)
 	if !s.bins[i].Enqueue(now, p) {
@@ -184,6 +196,7 @@ func (s *SFQCoDel) Stats() Stats {
 	for _, b := range s.bins {
 		bst := b.Stats()
 		st.DropsAQM += bst.DropsAQM
+		st.MarksECN += bst.MarksECN
 		st.BytesDropped += bst.BytesDropped
 	}
 	return st

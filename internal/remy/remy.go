@@ -62,6 +62,21 @@ type Config struct {
 	// products.
 	BufferBDP float64
 
+	// ECN enables the ECN signal plane in every training scenario:
+	// senders stamp ECT, gateways mark instead of drop, and the CE
+	// echo feeds the trainee's ecn_frac signal (knock it out via Mask
+	// to rerun the paper's learnability methodology over ECN).
+	ECN bool
+	// ECNThresholdBytes is the FiniteDropTail marking threshold under
+	// ECN; 0 sizes it at half the queue capacity. See
+	// scenario.Spec.ECNThresholdBytes.
+	ECNThresholdBytes int
+
+	// VarRate modulates every link's rate as a stochastic process in
+	// every training scenario (see scenario.VarRate). Zero value keeps
+	// rates constant.
+	VarRate scenario.VarRate
+
 	// Delta is the trainee's objective weight.
 	Delta float64
 
@@ -231,6 +246,12 @@ func (c *Config) Validate() error {
 	if n.MeanOn <= 0 || n.MeanOff <= 0 {
 		return fmt.Errorf("remy: on/off workload means must be positive (on %v, off %v)", n.MeanOn, n.MeanOff)
 	}
+	if n.ECN && n.Buffering == scenario.NoDrop {
+		return fmt.Errorf("remy: ECN needs a marking gateway queue, not NoDrop buffering")
+	}
+	if err := n.VarRate.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -271,17 +292,20 @@ func (c *Config) evalOne(tree *remycc.Tree, d draw, usage *remycc.UsageStats) fl
 	}
 
 	spec := scenario.Spec{
-		Topology:   c.Topology,
-		LinkSpeed:  d.linkSpeed,
-		LinkSpeeds: d.linkSpeeds,
-		MinRTT:     d.minRTT,
-		Buffering:  c.Buffering,
-		BufferBDP:  c.BufferBDP,
-		MeanOn:     c.MeanOn,
-		MeanOff:    c.MeanOff,
-		Senders:    senders,
-		Duration:   c.Duration,
-		Seed:       d.seed,
+		Topology:          c.Topology,
+		LinkSpeed:         d.linkSpeed,
+		LinkSpeeds:        d.linkSpeeds,
+		MinRTT:            d.minRTT,
+		Buffering:         c.Buffering,
+		BufferBDP:         c.BufferBDP,
+		ECN:               c.ECN,
+		ECNThresholdBytes: c.ECNThresholdBytes,
+		VarRate:           c.VarRate,
+		MeanOn:            c.MeanOn,
+		MeanOff:           c.MeanOff,
+		Senders:           senders,
+		Duration:          c.Duration,
+		Seed:              d.seed,
 	}
 	results := scenario.MustRun(spec)
 

@@ -307,7 +307,7 @@ func TestUsageOrder(t *testing.T) {
 
 func TestEnabledDims(t *testing.T) {
 	dims := enabledDims(remycc.AllSignals().Without(remycc.SendEWMA))
-	if len(dims) != 3 {
+	if len(dims) != remycc.NumSignals-1 {
 		t.Fatalf("dims = %v", dims)
 	}
 	for _, d := range dims {

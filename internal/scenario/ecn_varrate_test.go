@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"testing"
+
+	"learnability/internal/cc/cubic"
+	"learnability/internal/cc/remycc"
+	"learnability/internal/rng"
+	"learnability/internal/units"
+)
+
+// --- ECN-off inertness ----------------------------------------------
+
+// TestECNKnobsInertWhenOff pins the tentpole's compatibility promise:
+// with ECN disabled, the new spec knobs (marking threshold) change
+// nothing, for every gateway discipline. A run with a threshold set
+// must be bit-identical to one without.
+func TestECNKnobsInertWhenOff(t *testing.T) {
+	for _, buf := range []struct {
+		name string
+		b    Buffering
+	}{
+		{"droptail", FiniteDropTail},
+		{"nodrop", NoDrop},
+		{"sfqcodel", SfqCoDel},
+		{"codel", CoDelAQM},
+	} {
+		t.Run(buf.name, func(t *testing.T) {
+			mk := func(seed uint64) Spec {
+				s := baseSpec()
+				s.Seed = rng.New(seed)
+				s.Buffering = buf.b
+				if buf.b == NoDrop {
+					s.BufferBDP = 0
+				}
+				return s
+			}
+			plain := MustRun(mk(3))
+			knobbed := mk(3)
+			knobbed.ECNThresholdBytes = 54321 // inert: ECN is off
+			mustEqual(t, buf.name, MustRun(knobbed), plain)
+		})
+	}
+}
+
+// TestCoDelAQMBuffering smoke-tests the new single-queue CoDel gateway
+// kind end to end.
+func TestCoDelAQMBuffering(t *testing.T) {
+	s := baseSpec()
+	s.Buffering = CoDelAQM
+	results := MustRun(s)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.OnTime > 0 && r.Throughput <= 0 {
+			t.Fatalf("flow %d: no throughput under CoDel gateway: %+v", i, r)
+		}
+	}
+}
+
+func TestECNRejectedWithNoDrop(t *testing.T) {
+	s := baseSpec()
+	s.Buffering = NoDrop
+	s.BufferBDP = 0
+	s.ECN = true
+	if _, err := Run(s); err == nil {
+		t.Fatal("ECN over a no-drop gateway should be rejected (nothing ever marks)")
+	}
+}
+
+// --- the ECN signal path end to end ---------------------------------
+
+// ecnTaoSpec is a congested dumbbell (tight drop-tail buffer) with two
+// Tao senders whose controller instances the caller keeps, so the test
+// can read back the memory vector after the run.
+func ecnTaoSpec(seed uint64, ecn bool) (Spec, []*remycc.RemyCC) {
+	s := baseSpec()
+	s.Seed = rng.New(seed)
+	s.BufferBDP = 0.5 // keep the queue congested so marking engages
+	s.ECN = ecn
+	algs := []*remycc.RemyCC{remycc.New(remycc.NewTree()), remycc.New(remycc.NewTree())}
+	s.Senders = []Sender{{Alg: algs[0], Delta: 1}, {Alg: algs[1], Delta: 1}}
+	return s, algs
+}
+
+// TestECNSignalReachesTao drives the whole plane: the gateway CE-marks
+// ECT packets, the receiver echoes the mark on the ACK, and the Tao
+// memory's ecn_frac dimension moves off zero. With ECN off the same
+// scenario must leave the dimension exactly zero — the fifth signal
+// cannot perturb legacy runs.
+func TestECNSignalReachesTao(t *testing.T) {
+	specOff, algsOff := ecnTaoSpec(5, false)
+	MustRun(specOff)
+	for i, a := range algsOff {
+		if frac := a.LastVector()[remycc.ECNFraction]; frac != 0 {
+			t.Fatalf("ECN off: sender %d ecn_frac = %v, want exactly 0", i, frac)
+		}
+	}
+
+	specOn, algsOn := ecnTaoSpec(5, true)
+	MustRun(specOn)
+	moved := false
+	for _, a := range algsOn {
+		if a.LastVector()[remycc.ECNFraction] > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("ECN on over a congested gateway: no sender's ecn_frac moved off zero")
+	}
+}
+
+// --- variable-rate links --------------------------------------------
+
+func varRateSpec(seed uint64, vr VarRate) Spec {
+	s := baseSpec()
+	s.Seed = rng.New(seed)
+	s.VarRate = vr
+	s.Senders = []Sender{{Alg: cubic.New(), Delta: 1}, {Alg: cubic.New(), Delta: 1}}
+	return s
+}
+
+func onOffVR() VarRate {
+	return VarRate{Kind: VarRateOnOff, LowFactor: 0.4, MeanHigh: 500 * units.Millisecond, MeanLow: 500 * units.Millisecond}
+}
+
+func markovVR() VarRate {
+	return VarRate{Kind: VarRateMarkov, Factors: []float64{1, 0.5, 0.25}, MeanDwell: 400 * units.Millisecond}
+}
+
+// TestVarRateDeterministicAndRecyclable checks the two pillars for each
+// rate family: the same seed reproduces bit-identical results, on fresh
+// and on recycled worlds alike (the armed rate closures must die with
+// the world's scheduler, not leak into the next run).
+func TestVarRateDeterministicAndRecyclable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		vr   VarRate
+	}{
+		{"onoff", onOffVR()},
+		{"markov", markovVR()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first := MustRun(varRateSpec(9, tc.vr))
+			mustEqual(t, tc.name+" rerun", MustRun(varRateSpec(9, tc.vr)), first)
+			mustEqual(t, tc.name+" fresh", runFresh(varRateSpec(9, tc.vr)), first)
+
+			// A recycled world from a varrate run must serve a constant-
+			// rate run untouched.
+			constant := MustRun(varRateSpec(9, VarRate{}))
+			mustEqual(t, tc.name+" then constant", constant, runFresh(varRateSpec(9, VarRate{})))
+		})
+	}
+}
+
+// TestVarRateChangesOutcome is the sanity counterpart: modulation that
+// halves the bottleneck for long stretches must actually show up in the
+// results.
+func TestVarRateChangesOutcome(t *testing.T) {
+	constant := MustRun(varRateSpec(9, VarRate{}))
+	modulated := MustRun(varRateSpec(9, onOffVR()))
+	same := len(constant) == len(modulated)
+	if same {
+		for i := range constant {
+			if constant[i] != modulated[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("on/off rate modulation left every flow result bit-identical to constant rates")
+	}
+}
+
+func TestVarRateValidation(t *testing.T) {
+	bad := []VarRate{
+		{Kind: VarRateOnOff}, // zero factor and dwells
+		{Kind: VarRateOnOff, LowFactor: 1.5, MeanHigh: 1, MeanLow: 1},    // factor > 1
+		{Kind: VarRateMarkov, Factors: []float64{1}, MeanDwell: 1},       // one state
+		{Kind: VarRateMarkov, Factors: []float64{1, -0.5}, MeanDwell: 1}, // negative factor
+		{Kind: VarRateMarkov, Factors: []float64{1, 0.5}},                // zero dwell
+		{Kind: VarRateKind(99), LowFactor: 0.5, MeanHigh: 1, MeanLow: 1}, // unknown kind
+	}
+	for i, vr := range bad {
+		s := varRateSpec(1, vr)
+		if _, err := Run(s); err == nil {
+			t.Errorf("bad var-rate %d (%+v) accepted", i, vr)
+		}
+	}
+	if err := onOffVR().Validate(); err != nil {
+		t.Errorf("valid on/off rejected: %v", err)
+	}
+	if err := markovVR().Validate(); err != nil {
+		t.Errorf("valid markov rejected: %v", err)
+	}
+}

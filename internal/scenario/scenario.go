@@ -103,6 +103,22 @@ func ParsePlacement(s string) (Placement, error) {
 	return 0, fmt.Errorf("scenario: unknown placement %q (want permutation, alltoall, or incast)", s)
 }
 
+// ParseBuffering resolves a gateway-queue name ("droptail", "nodrop",
+// "codel", "sfqcodel") for CLI flags.
+func ParseBuffering(s string) (Buffering, error) {
+	switch s {
+	case "droptail", "drop-tail":
+		return FiniteDropTail, nil
+	case "nodrop", "no-drop", "infinite":
+		return NoDrop, nil
+	case "codel":
+		return CoDelAQM, nil
+	case "sfqcodel", "sfq-codel":
+		return SfqCoDel, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown queue %q (want droptail, nodrop, codel, or sfqcodel)", s)
+}
+
 // Topology declaratively selects the network shape. The zero value is
 // a dumbbell; Dumbbell and ParkingLot name the paper's two shapes, and
 // ParkingLotN opens the N-hop family. Topology descriptions are
@@ -261,6 +277,9 @@ const (
 	// SfqCoDel runs sfqCoDel at the gateway with BufferBDP of hard
 	// backstop.
 	SfqCoDel
+	// CoDelAQM runs a single shared CoDel queue at the gateway with
+	// BufferBDP of hard backstop (no fair queueing).
+	CoDelAQM
 )
 
 // Sender describes one endpoint.
@@ -315,6 +334,25 @@ type Spec struct {
 
 	// Senders are the endpoints, one flow each, in flow order.
 	Senders []Sender
+
+	// ECN enables the ECN signal plane: every sender stamps its data
+	// packets ECN-capable (ECT) and every gateway queue marks instead
+	// of drops — CoDel families mark wherever the control law schedules
+	// a drop; FiniteDropTail becomes a marking drop-tail that CE-marks
+	// arrivals past a byte threshold. The CE mark echoes back on ACKs
+	// as Feedback.ECNEcho. Incompatible with NoDrop buffering (an
+	// unbounded queue has no congestion point to signal).
+	ECN bool
+	// ECNThresholdBytes is the marking threshold for FiniteDropTail
+	// under ECN, in bytes of instantaneous queue occupancy; 0 sizes it
+	// at half the queue capacity. Ignored by the CoDel families, whose
+	// sojourn-time target is the threshold.
+	ECNThresholdBytes int
+
+	// VarRate modulates every link's rate as a stochastic process
+	// (on/off degradation or Markov-modulated WiFi-like tiers). The
+	// zero value keeps rates constant.
+	VarRate VarRate
 
 	// Duration is the simulated run length.
 	Duration units.Duration
@@ -581,6 +619,15 @@ func (s *Spec) prep() (*topo.Graph, []queue.Discipline, []topo.FlowSpec, error) 
 	if s.Duration <= 0 {
 		return nil, nil, nil, fmt.Errorf("scenario: spec needs a positive duration")
 	}
+	if s.ECN && s.Buffering == NoDrop {
+		return nil, nil, nil, fmt.Errorf("scenario: ECN needs a marking gateway queue, not NoDrop")
+	}
+	if s.ECNThresholdBytes < 0 {
+		return nil, nil, nil, fmt.Errorf("scenario: negative ECN threshold %d bytes", s.ECNThresholdBytes)
+	}
+	if err := s.VarRate.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
 	lay, err := s.Layout()
 	if err != nil {
 		return nil, nil, nil, err
@@ -631,6 +678,11 @@ func (s *Spec) applyModes(nw *netsim.Network) {
 			f.Sender.UseMapScoreboard()
 		}
 	}
+	if s.ECN {
+		for _, f := range nw.Flows {
+			f.Sender.SetECN(true)
+		}
+	}
 }
 
 // build is Build plus the compiled layout, so Run can hand it to
@@ -666,7 +718,7 @@ func (s *Spec) mkQueue(i int, e topo.Edge) (queue.Discipline, error) {
 	switch s.Buffering {
 	case NoDrop:
 		return queue.NewInfinite(), nil
-	case FiniteDropTail, SfqCoDel:
+	case FiniteDropTail, SfqCoDel, CoDelAQM:
 		// An explicit edge override is used verbatim — a tiny-buffer
 		// study may genuinely want a single-packet queue. The
 		// two-packet floor applies only to computed BDP sizes, where a
@@ -690,8 +742,25 @@ func (s *Spec) mkQueue(i int, e topo.Edge) (queue.Discipline, error) {
 				capBytes = 2 * 1500
 			}
 		}
-		if s.Buffering == SfqCoDel {
-			return queue.NewSFQCoDel(queue.SFQCoDelBins, capBytes), nil
+		switch s.Buffering {
+		case SfqCoDel:
+			q := queue.NewSFQCoDel(queue.SFQCoDelBins, capBytes)
+			q.SetECNMarking(s.ECN)
+			return q, nil
+		case CoDelAQM:
+			q := queue.NewCoDel(capBytes)
+			q.SetECNMarking(s.ECN)
+			return q, nil
+		}
+		if s.ECN {
+			thresh := s.ECNThresholdBytes
+			if thresh <= 0 || thresh > capBytes {
+				thresh = capBytes / 2
+			}
+			if thresh <= 0 {
+				thresh = capBytes
+			}
+			return queue.NewMarkingDropTail(capBytes, thresh), nil
 		}
 		return queue.NewDropTail(capBytes), nil
 	default:
@@ -713,6 +782,7 @@ func Finish(spec Spec, nw *netsim.Network) []Result {
 
 // finish executes a built network against its already-compiled layout.
 func finish(spec Spec, lay *topo.Graph, nw *netsim.Network) []Result {
+	spec.armVarRate(nw)
 	if spec.Probe != nil {
 		interval := spec.ProbeInterval
 		if interval <= 0 {

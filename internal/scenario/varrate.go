@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"fmt"
+
+	"learnability/internal/netsim"
+	"learnability/internal/rng"
+	"learnability/internal/sim"
+	"learnability/internal/units"
+)
+
+// VarRateKind selects the stochastic link-rate family.
+type VarRateKind int
+
+// Supported link-rate processes.
+const (
+	// VarRateNone leaves every link at its configured constant rate.
+	VarRateNone VarRateKind = iota
+	// VarRateOnOff alternates each link between its configured rate
+	// ("high") and LowFactor times it ("low"), with exponential dwell
+	// times of mean MeanHigh and MeanLow — a coarse model of a shared
+	// channel that periodically degrades.
+	VarRateOnOff
+	// VarRateMarkov walks each link over Factors (multiples of its
+	// configured rate) as a symmetric Markov chain: exponential dwells
+	// of mean MeanDwell, then a uniform jump to one of the other
+	// states — WiFi-like rate adaptation stepping through MCS tiers.
+	VarRateMarkov
+)
+
+// VarRate describes a stochastic rate process applied independently to
+// every link of a scenario. Each link starts at its configured rate
+// (state 0 for the Markov family) and evolves on its own rng stream
+// derived from the spec seed, so runs are deterministic per seed and
+// adding links never perturbs existing ones. The zero value means
+// constant rates. All fields are JSON-serializable so the family rides
+// through training configs and the shard protocol unchanged.
+type VarRate struct {
+	// Kind selects the family; VarRateNone disables modulation.
+	Kind VarRateKind `json:"kind,omitempty"`
+
+	// LowFactor is the degraded-state rate as a fraction of the link's
+	// configured rate (VarRateOnOff only), in (0, 1].
+	LowFactor float64 `json:"low_factor,omitempty"`
+	// MeanHigh is the mean dwell at the configured rate (VarRateOnOff).
+	MeanHigh units.Duration `json:"mean_high,omitempty"`
+	// MeanLow is the mean dwell at the degraded rate (VarRateOnOff).
+	MeanLow units.Duration `json:"mean_low,omitempty"`
+
+	// Factors are the Markov states as multiples of the link's
+	// configured rate (VarRateMarkov only); Factors[0] is the initial
+	// state. At least two states, all positive.
+	Factors []float64 `json:"factors,omitempty"`
+	// MeanDwell is the mean dwell in each Markov state (VarRateMarkov).
+	MeanDwell units.Duration `json:"mean_dwell,omitempty"`
+}
+
+// Enabled reports whether the spec modulates link rates at all.
+func (v VarRate) Enabled() bool { return v.Kind != VarRateNone }
+
+// ParseVarRateKind resolves a rate-process name ("off", "onoff",
+// "markov") for CLI flags.
+func ParseVarRateKind(s string) (VarRateKind, error) {
+	switch s {
+	case "", "off", "none":
+		return VarRateNone, nil
+	case "onoff", "on-off":
+		return VarRateOnOff, nil
+	case "markov":
+		return VarRateMarkov, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown var-rate kind %q (want off, onoff, or markov)", s)
+}
+
+// Validate checks the family's parameters.
+func (v VarRate) Validate() error {
+	switch v.Kind {
+	case VarRateNone:
+		return nil
+	case VarRateOnOff:
+		if v.LowFactor <= 0 || v.LowFactor > 1 {
+			return fmt.Errorf("scenario: on/off var-rate low factor %v outside (0, 1]", v.LowFactor)
+		}
+		if v.MeanHigh <= 0 || v.MeanLow <= 0 {
+			return fmt.Errorf("scenario: on/off var-rate needs positive dwell means, got %v high / %v low",
+				v.MeanHigh, v.MeanLow)
+		}
+		return nil
+	case VarRateMarkov:
+		if len(v.Factors) < 2 {
+			return fmt.Errorf("scenario: Markov var-rate needs at least 2 states, got %d", len(v.Factors))
+		}
+		for i, f := range v.Factors {
+			if f <= 0 {
+				return fmt.Errorf("scenario: Markov var-rate state %d has non-positive factor %v", i, f)
+			}
+		}
+		if v.MeanDwell <= 0 {
+			return fmt.Errorf("scenario: Markov var-rate needs a positive mean dwell, got %v", v.MeanDwell)
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown var-rate kind %d", v.Kind)
+	}
+}
+
+// armVarRate schedules each link's rate process on the network's
+// scheduler. It runs once per run, after the network is built or
+// recycled and before the simulation starts; the per-link streams are
+// split from the spec seed by link index, so they neither advance the
+// workload streams nor depend on link count.
+func (s *Spec) armVarRate(nw *netsim.Network) {
+	if !s.VarRate.Enabled() {
+		return
+	}
+	root := s.Seed.Split("varrate")
+	for i, l := range nw.Links {
+		armLinkRate(nw.Sched, l, s.VarRate, root.SplitN("link", i))
+	}
+}
+
+// armLinkRate starts one link's rate process. The few closures it
+// allocates are per run and per link — never per packet — and die with
+// the scheduler reset when the world is recycled.
+func armLinkRate(sched *sim.Scheduler, l *netsim.Link, vr VarRate, r *rng.Stream) {
+	base := l.Rate()
+	dwell := func(mean units.Duration) units.Duration {
+		return units.DurationFromSeconds(r.Exponential(mean.Seconds()))
+	}
+	switch vr.Kind {
+	case VarRateOnOff:
+		high := true
+		var flip func()
+		flip = func() {
+			high = !high
+			if high {
+				l.SetRate(base)
+				sched.After(dwell(vr.MeanHigh), flip)
+			} else {
+				l.SetRate(base * units.Rate(vr.LowFactor))
+				sched.After(dwell(vr.MeanLow), flip)
+			}
+		}
+		sched.After(dwell(vr.MeanHigh), flip)
+	case VarRateMarkov:
+		state := 0
+		var jump func()
+		jump = func() {
+			next := r.Intn(len(vr.Factors) - 1)
+			if next >= state {
+				next++
+			}
+			state = next
+			l.SetRate(base * units.Rate(vr.Factors[state]))
+			sched.After(dwell(vr.MeanDwell), jump)
+		}
+		l.SetRate(base * units.Rate(vr.Factors[0]))
+		sched.After(dwell(vr.MeanDwell), jump)
+	}
+}

@@ -98,17 +98,18 @@ func NewNewReno() Algorithm { return newreno.New() }
 // NewVegas returns a TCP Vegas controller.
 func NewVegas() Algorithm { return vegas.New() }
 
-// AllSignals enables all four congestion signals.
+// AllSignals enables every congestion signal.
 func AllSignals() SignalMask { return remycc.AllSignals() }
 
 // NewWhiskerTree returns the untrained single-whisker tree.
 func NewWhiskerTree() *Tree { return remycc.NewTree() }
 
-// TaoSignals reports the four congestion signals currently tracked by
-// a Tao controller created with NewRemyCC/NewRemyCCMasked, in the
-// paper's order (rec_ewma, slow_rec_ewma, send_ewma in seconds;
-// rtt_ratio dimensionless). ok is false if alg is not a Tao.
-func TaoSignals(alg Algorithm) (signals [4]float64, ok bool) {
+// TaoSignals reports the congestion signals currently tracked by a Tao
+// controller created with NewRemyCC/NewRemyCCMasked, in the paper's
+// order (rec_ewma, slow_rec_ewma, send_ewma in seconds; rtt_ratio
+// dimensionless) followed by the ecn_frac extension (fraction of
+// recent ACKs echoing a CE mark). ok is false if alg is not a Tao.
+func TaoSignals(alg Algorithm) (signals [remycc.NumSignals]float64, ok bool) {
 	r, ok := alg.(*remycc.RemyCC)
 	if !ok {
 		return signals, false
@@ -211,6 +212,17 @@ const (
 	FiniteDropTail = scenario.FiniteDropTail
 	NoDrop         = scenario.NoDrop
 	SfqCoDel       = scenario.SfqCoDel
+	CoDelAQM       = scenario.CoDelAQM
+)
+
+// VarRate describes bottleneck-rate modulation for a Spec (Spec.VarRate).
+type VarRate = scenario.VarRate
+
+// Variable-rate link families.
+const (
+	VarRateNone   = scenario.VarRateNone
+	VarRateOnOff  = scenario.VarRateOnOff
+	VarRateMarkov = scenario.VarRateMarkov
 )
 
 // ParkingLotN describes an N-hop parking lot: hops bottleneck links in

@@ -57,6 +57,11 @@ go test -run '^$' -bench 'BenchmarkShardCodec' \
   -benchmem -benchtime "$MICRO_BENCHTIME" -count "$BENCH_COUNT" \
   ./internal/remy/shard/ | tee -a "$RAW"
 
+echo "== queue discipline benchmarks (AQM hot path) =="
+go test -run '^$' -bench 'BenchmarkCoDel$|BenchmarkSFQCoDel' \
+  -benchmem -benchtime "$MICRO_BENCHTIME" -count "$BENCH_COUNT" \
+  ./internal/queue/ | tee -a "$RAW"
+
 echo "== scenario + trainer benchmarks =="
 # BenchmarkScenarioRun matches the dumbbell fast path,
 # BenchmarkScenarioRunParkingLot (the multi-hop forwarding-chain path),

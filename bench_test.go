@@ -183,6 +183,61 @@ func BenchmarkTrainer(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainerMemoized measures the memoized evaluation plane.
+// "uncached" is the cache-free baseline; "cached" is the default
+// configuration on a fresh Trainer each iteration (cold cache, so the
+// gain is intra-run neighbor overlap plus the free post-pass usage
+// refresh); "warm" reuses one Trainer so every rerun after the first
+// is served entirely from the slot cache — the warm-restart floor.
+// The trained bits are identical in all three lanes
+// (TestMemoizedTrainBitEqualInProcess pins that); only the wall time
+// may differ. scripts/bench.sh gates warm against uncached.
+func BenchmarkTrainerMemoized(b *testing.B) {
+	cfg := learnability.TrainConfig{
+		Topology:     learnability.DumbbellTopology,
+		LinkSpeedMin: 10 * learnability.Mbps,
+		LinkSpeedMax: 100 * learnability.Mbps,
+		MinRTTMin:    150 * learnability.Millisecond,
+		MinRTTMax:    150 * learnability.Millisecond,
+		SendersMin:   2,
+		SendersMax:   2,
+		MeanOn:       learnability.Second,
+		MeanOff:      learnability.Second,
+		Buffering:    learnability.FiniteDropTail,
+		BufferBDP:    5,
+		Delta:        1,
+		Duration:     5 * learnability.Second,
+		Replicas:     2,
+	}
+	budget := learnability.TrainBudget{Generations: 1, OptPasses: 1, MovesPerWhisker: 2}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := &learnability.Trainer{Cfg: cfg, Seed: uint64(i), DisableEvalCache: true}
+			if tree := tr.Train(budget); tree.Len() == 0 {
+				b.Fatal("empty tree")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := &learnability.Trainer{Cfg: cfg, Seed: uint64(i)}
+			if tree := tr.Train(budget); tree.Len() == 0 {
+				b.Fatal("empty tree")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		tr := &learnability.Trainer{Cfg: cfg, Seed: 1}
+		tr.Train(budget) // untimed: fill the slot cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tree := tr.Train(budget); tree.Len() == 0 {
+				b.Fatal("empty tree")
+			}
+		}
+	})
+}
+
 // BenchmarkTrainerSharded measures generation sharding at fixed
 // per-shard parallelism: every shard evaluates its slice of the
 // generation with a single worker, so wall time falls as shards rise

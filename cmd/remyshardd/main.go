@@ -12,7 +12,11 @@
 // job, so a daemon holds no training state: it can be restarted at any
 // time (the coordinator reconnects and requeues), serve several
 // trainings at once, and return cached results verbatim without any
-// effect on the trained bits. Setting REMY_SHARD_DIE_AFTER=N makes
+// effect on the trained bits. With -cache-dir the cache also spills
+// every entry to disk (hash-verified on load, corrupt files evicted),
+// so even a restarted daemon answers repeated work from its warm
+// store. -pprof/-cpuprofile/-memprofile expose the standard profiling
+// taps. Setting REMY_SHARD_DIE_AFTER=N makes
 // every connection drop after N jobs — the same chaos knob cmd/
 // remyshard exposes, for exercising the coordinator's requeue path
 // against a real network.
@@ -27,23 +31,46 @@ import (
 	"strconv"
 	"time"
 
+	"learnability/internal/prof"
 	"learnability/internal/remy"
 	"learnability/internal/remy/shardnet"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":7117", "TCP address to serve shard jobs on")
-		workers = flag.Int("workers", 0, "parallel simulations per job (0 = NumCPU)")
-		cacheN  = flag.Int("cache", shardnet.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative disables)")
-		hb      = flag.Duration("hb", shardnet.DefaultHeartbeat, "heartbeat interval while a job evaluates")
-		verbose = flag.Bool("v", true, "log connections and cache stats")
+		listen   = flag.String("listen", ":7117", "TCP address to serve shard jobs on")
+		workers  = flag.Int("workers", 0, "parallel simulations per job (0 = NumCPU)")
+		cacheN   = flag.Int("cache", shardnet.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative disables)")
+		cacheDir = flag.String("cache-dir", "", "spill cache entries to this directory (created if missing) and reload them on restart, hash-verified; entries survive daemon lifetimes so warm restarts stay warm")
+		hb       = flag.Duration("hb", shardnet.DefaultHeartbeat, "heartbeat interval while a job evaluates")
+		ppAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on SIGINT/SIGTERM)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on SIGINT/SIGTERM")
+		verbose  = flag.Bool("v", true, "log connections and cache stats")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*ppAddr, *cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remyshardd:", err)
+		os.Exit(2)
+	}
+	prof.StopOnSignal(stopProf)
+
 	var cache *shardnet.Cache
 	if *cacheN >= 0 {
-		cache = shardnet.NewCache(*cacheN)
+		if *cacheDir != "" {
+			var err error
+			if cache, err = shardnet.NewDiskCache(*cacheDir, *cacheN); err != nil {
+				fmt.Fprintln(os.Stderr, "remyshardd:", err)
+				os.Exit(2)
+			}
+		} else {
+			cache = shardnet.NewCache(*cacheN)
+		}
+	} else if *cacheDir != "" {
+		fmt.Fprintln(os.Stderr, "remyshardd: -cache-dir needs the cache enabled (-cache >= 0)")
+		os.Exit(2)
 	}
 	srv := &shardnet.Server{
 		Eval:      remy.CachedShardEval(cache),
@@ -68,8 +95,8 @@ func main() {
 				st := srv.Stats()
 				if cache != nil {
 					cs := cache.Stats()
-					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served, slot cache %d hits / %d misses / %d entries\n",
-						st.Jobs, cs.Hits, cs.Misses, cs.Entries)
+					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served, slot cache %d hits (%d from disk) / %d misses / %d entries\n",
+						st.Jobs, cs.Hits, cs.DiskHits, cs.Misses, cs.Entries)
 				} else {
 					fmt.Fprintf(os.Stderr, "remyshardd: %d jobs served (cache disabled)\n", st.Jobs)
 				}
@@ -82,8 +109,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "remyshardd:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "remyshardd: serving shard jobs on %s (%d workers/job, cache %v)\n",
-		ln.Addr(), srv.Workers, cache != nil)
+	cacheDesc := "off"
+	if cache != nil {
+		cacheDesc = "memory"
+		if d := cache.Dir(); d != "" {
+			cacheDesc = "disk:" + d
+		}
+	}
+	fmt.Fprintf(os.Stderr, "remyshardd: serving shard jobs on %s (%d workers/job, cache %s)\n",
+		ln.Addr(), srv.Workers, cacheDesc)
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "remyshardd:", err)
 		os.Exit(1)

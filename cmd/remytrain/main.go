@@ -22,7 +22,9 @@ import (
 	"strings"
 
 	"learnability/internal/cc/remycc"
+	"learnability/internal/prof"
 	"learnability/internal/remy"
+	"learnability/internal/remy/shardnet"
 	"learnability/internal/scenario"
 	topolib "learnability/internal/topo"
 	"learnability/internal/units"
@@ -71,10 +73,22 @@ func main() {
 		shardTmo   = flag.Duration("shard-timeout", 0, "kill and requeue a shard job after this long (e.g. 10m); 0 waits forever — set it to survive hung (not just crashed) workers. On -remotes lanes this bounds silence between frames (heartbeats reset it), not job length")
 		remotes    = flag.String("remotes", "", "comma-separated remyshardd worker addresses (host:port,...); each is one TCP shard lane. Remote-only unless -shards 2+ adds local lanes. Output stays byte-identical to in-process training")
 		shardJSON  = flag.Bool("shard-json", false, "ship shard jobs in the JSON reference codec instead of the binary one; output is byte-identical either way")
+		evalCache  = flag.Int("eval-cache", 0, "in-process slot-cache capacity in entries (0 = default, negative disables); repeated (config, draw, tree) evaluations are served from memory, byte-identical to simulating")
+		evalDir    = flag.String("eval-cache-dir", "", "spill the in-process slot cache to this directory and reload on the next run, so warm reruns skip simulation entirely")
+		ppAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while training")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file after training")
 		out        = flag.String("o", "tao.json", "output file for the whisker tree")
 		verbose    = flag.Bool("v", true, "stream search progress")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*ppAddr, *cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remytrain:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	mask := remycc.AllSignals()
 	switch *knockout {
@@ -196,15 +210,29 @@ func main() {
 	}
 
 	tr := &remy.Trainer{
-		Cfg:          cfg,
-		Seed:         *seed,
-		Workers:      *workers,
-		Shards:       *shards,
-		ShardCmd:     strings.Fields(*shardCmd),
-		ShardWorkers: *shardWkrs,
-		ShardTimeout: *shardTmo,
-		Remotes:      remoteAddrs,
-		ShardJSON:    *shardJSON,
+		Cfg:              cfg,
+		Seed:             *seed,
+		Workers:          *workers,
+		Shards:           *shards,
+		ShardCmd:         strings.Fields(*shardCmd),
+		ShardWorkers:     *shardWkrs,
+		ShardTimeout:     *shardTmo,
+		Remotes:          remoteAddrs,
+		ShardJSON:        *shardJSON,
+		DisableEvalCache: *evalCache < 0,
+		EvalCacheEntries: *evalCache,
+	}
+	if *evalDir != "" {
+		if *evalCache < 0 {
+			fmt.Fprintln(os.Stderr, "remytrain: -eval-cache-dir needs the eval cache enabled (-eval-cache >= 0)")
+			os.Exit(2)
+		}
+		c, err := shardnet.NewDiskCache(*evalDir, *evalCache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remytrain:", err)
+			os.Exit(2)
+		}
+		tr.EvalCache = c
 	}
 	if *verbose {
 		tr.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
@@ -221,6 +249,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("trained %d whiskers -> %s\n", tree.Len(), *out)
+	if cs := tr.LocalCacheStats(); cs.Hits+cs.Misses > 0 {
+		fmt.Printf("eval cache: %d hits (%d from disk) / %d misses (%.1f%% hit rate), %d entries\n",
+			cs.Hits, cs.DiskHits, cs.Misses, 100*float64(cs.Hits)/float64(cs.Hits+cs.Misses), cs.Entries)
+	}
 	if len(remoteAddrs) > 0 {
 		hits, total := tr.ShardCacheStats()
 		pct := 0.0

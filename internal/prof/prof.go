@@ -1,0 +1,85 @@
+// Package prof wires the standard Go profiling taps into the repo's
+// binaries behind three flags, so a perf investigation starts from a
+// profile instead of a guess:
+//
+//	remytrain  -cpuprofile cpu.pb.gz ... && go tool pprof cpu.pb.gz
+//	remyshardd -pprof :6060 ...          # live: go tool pprof http://host:6060/debug/pprof/profile
+//
+// Start is a no-op (returning a no-op stop) when every flag is empty,
+// so the binaries pay nothing unless profiling is asked for.
+package prof
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+)
+
+// Start enables the requested profiling sinks: a net/http/pprof
+// listener on httpAddr, a CPU profile streamed to cpuFile, and a heap
+// profile written to memFile when stop runs. An empty string disables
+// the corresponding sink. The returned stop flushes and closes the
+// file-based sinks; call it exactly once on the way out (long-running
+// daemons should pair it with StopOnSignal so a SIGTERM still flushes
+// the CPU profile).
+func Start(httpAddr, cpuFile, memFile string) (stop func(), err error) {
+	if httpAddr != "" {
+		ln := httpAddr
+		go func() {
+			// The pprof mux is registered by the blank import; serving
+			// it is best-effort — a taken port must not kill a training
+			// run that only wanted the file-based profiles.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: pprof listener %s: %v\n", ln, err)
+			}
+		}()
+	}
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // publish up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// StopOnSignal runs stop and exits when the process receives SIGINT or
+// SIGTERM — so a profiled daemon killed from the shell still flushes
+// its CPU/heap profiles. Call it once after Start, from the main
+// goroutine of a binary that otherwise never returns.
+func StopOnSignal(stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stop()
+		os.Exit(0)
+	}()
+}

@@ -1,0 +1,126 @@
+package remy
+
+// In-process memoization for the trainer's evaluation plane. The shard
+// workers have cached (config, draw, tree) slots since protocol v3
+// (slotcache.go); this file makes the same content address pay on the
+// coordinator itself: evaluateLocal consults a shardnet.Cache before
+// simulating a slot, so the redundancy inherent in hill-climbing — a
+// move's neighbor set overlaps the previous move's, and Train
+// re-evaluates the current tree after every optimization pass just to
+// refresh whisker usage — is served from memory instead of the
+// simulator. Entries are byte-identical to fresh evaluation by purity
+// (the differential tests in memodiff_test.go hold cached and uncached
+// training byte-equal), so the cache changes where scores come from,
+// never their bits.
+//
+// It also hosts the derive-once draw memo: generationDraws is pure in
+// (config, seed, gen), and with pipelined windows every job of a
+// generation used to re-sample every replica's scenario draw. The memo
+// is keyed by the config's content hash so the coordinator's local
+// path, its in-process fallback lanes, and a daemon serving several
+// trainings all share one derivation per generation. Draws are
+// immutable after creation (scenario runs split the seed stream
+// without advancing it), so sharing one slice across concurrent
+// evaluations is safe.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"learnability/internal/remy/shard"
+	"learnability/internal/remy/shardnet"
+)
+
+// drawMemoEntries bounds the derive-once draw memo. One training run
+// touches one config and revisits a handful of recent generations, so
+// the bound only matters for a daemon serving many coordinators.
+const drawMemoEntries = 32
+
+// drawMemoKey addresses one generation's scenario draws.
+type drawMemoKey struct {
+	cfgHash shard.Hash
+	seed    uint64
+	gen     int
+}
+
+// drawMemo is the process-wide [(cfgHash, seed, gen)] → draws cache,
+// FIFO-bounded like the decoded-config memo.
+var drawMemo struct {
+	mu    sync.Mutex
+	m     map[drawMemoKey][]draw
+	order []drawMemoKey
+}
+
+// drawsFor returns one generation's scenario draws, derived once per
+// (config, seed, generation) and shared thereafter. The caller must
+// treat the slice and its draws as immutable.
+func drawsFor(cfgHash shard.Hash, seed uint64, gen int, cfg *Config) []draw {
+	key := drawMemoKey{cfgHash: cfgHash, seed: seed, gen: gen}
+	m := &drawMemo
+	m.mu.Lock()
+	if draws, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		return draws
+	}
+	m.mu.Unlock()
+	draws := cfg.generationDraws(seed, gen)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cached, ok := m.m[key]; ok {
+		return cached
+	}
+	if m.m == nil {
+		m.m = make(map[drawMemoKey][]draw)
+	}
+	for len(m.order) >= drawMemoEntries {
+		delete(m.m, m.order[0])
+		m.order = m.order[1:]
+	}
+	m.m[key] = draws
+	m.order = append(m.order, key)
+	return draws
+}
+
+// evalCfgHash returns the content hash of the batch's training config
+// — the same address startShards ships to workers, so the local cache
+// and the worker caches key identical slots identically. Train
+// memoizes it for the duration of one search; a bare evaluate call
+// outside Train (tests) recomputes it, which is microseconds against
+// a slot's milliseconds of simulation.
+func (t *Trainer) evalCfgHash(cfg *Config) shard.Hash {
+	if t.evalCfgValid {
+		return t.evalCfg
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("remy: training config not serializable: %v", err))
+	}
+	return shard.HashBytes(b)
+}
+
+// localCache resolves the in-process slot cache for an evaluation
+// batch: nil when disabled, the caller-supplied EvalCache when set,
+// and otherwise a cache built on first use that lives for the
+// Trainer's lifetime — so repeated Train calls on one Trainer (warm
+// reruns, sweeps over budgets) keep their entries.
+func (t *Trainer) localCache() *shardnet.Cache {
+	if t.DisableEvalCache {
+		return nil
+	}
+	if t.EvalCache == nil {
+		t.EvalCache = shardnet.NewCache(t.EvalCacheEntries)
+	}
+	return t.EvalCache
+}
+
+// LocalCacheStats snapshots the in-process evaluation cache counters
+// (zero when the cache is disabled or was never touched). cmd/
+// remytrain surfaces the hit rate after training; the bench gate
+// asserts a floor on it.
+func (t *Trainer) LocalCacheStats() shardnet.CacheStats {
+	if t.DisableEvalCache || t.EvalCache == nil {
+		return shardnet.CacheStats{}
+	}
+	return t.EvalCache.Stats()
+}

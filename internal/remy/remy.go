@@ -22,6 +22,7 @@ import (
 	"learnability/internal/cc/newreno"
 	"learnability/internal/cc/remycc"
 	"learnability/internal/remy/shard"
+	"learnability/internal/remy/shardnet"
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
 	"learnability/internal/stats"
@@ -382,6 +383,30 @@ type Trainer struct {
 	// trees; production runs leave it false.
 	ShardJSON bool
 
+	// DisableEvalCache turns off the in-process slot cache, so every
+	// evaluation simulates even when an identical (config, draw, tree)
+	// slot was scored before. The cache changes where scores come from,
+	// never their bits (memodiff tests), so this exists for
+	// differential testing and memory-constrained runs, not
+	// correctness.
+	DisableEvalCache bool
+	// EvalCache, when set, is the in-process slot cache evaluateLocal
+	// (and the shard pool's in-process fallback lanes) consult before
+	// simulating. Leave nil to have Train build one lazily that lives
+	// for the Trainer's lifetime; supply a shardnet.NewDiskCache to
+	// keep entries warm across process restarts.
+	EvalCache *shardnet.Cache
+	// EvalCacheEntries bounds the lazily built EvalCache
+	// (0 = shardnet.DefaultCacheEntries).
+	EvalCacheEntries int
+
+	// evalCfg and evalCfgValid memoize the content hash of the
+	// normalized training config for the duration of one Train call
+	// (see evalCfgHash); the hash addresses the in-process cache and
+	// draw memo with the same key the shard protocol ships.
+	evalCfg      shard.Hash
+	evalCfgValid bool
+
 	// jobs feeds the worker pool while Train is running. When nil
 	// (evaluate called outside Train, as some tests do), work runs
 	// inline on the calling goroutine.
@@ -552,22 +577,66 @@ func (t *Trainer) evaluateBatch(cfg Config, trees []*remycc.Tree, gen, usageFor 
 		}
 	}
 	for _, u := range recycle {
-		t.putUsage(u)
+		if u != nil { // cache-hit slots without usage have no buffer
+			t.putUsage(u)
+		}
 	}
 	return means, usage
 }
 
 // evaluateLocal fills scores with every tree x replica objective using
-// the in-process worker pool. It returns the per-replica usage slice
-// for trees[usageFor] (nil when usageFor is -1) and the full buffer
-// list for recycling after the caller has merged.
+// the in-process worker pool, consulting the in-process slot cache
+// first (unless DisableEvalCache): a slot whose (config, draw, tree)
+// was scored before — a neighbor revisited across hill-climb moves, a
+// post-pass usage refresh of an unchanged tree — is served from the
+// stored bits instead of simulating. It returns the per-replica usage
+// slice for trees[usageFor] (nil when usageFor is -1) and the full
+// buffer list for recycling after the caller has merged (cache-hit
+// slots without usage contribute nil entries, which the caller skips).
 func (t *Trainer) evaluateLocal(cfg Config, trees []*remycc.Tree, gen, usageFor int, scores []float64) (usageK, recycle []*remycc.UsageStats) {
-	draws := cfg.generationDraws(t.Seed, gen)
+	cache := t.localCache()
+	var cfgHash shard.Hash
+	var draws []draw
+	var keys []shardnet.Key
+	var hit []bool
+	if cache != nil {
+		cfgHash = t.evalCfgHash(&cfg)
+		draws = drawsFor(cfgHash, t.Seed, gen, &cfg)
+		keys = make([]shardnet.Key, len(trees)*cfg.Replicas)
+		hit = make([]bool, len(keys))
+	} else {
+		draws = cfg.generationDraws(t.Seed, gen)
+	}
 	usages := make([]*remycc.UsageStats, len(trees)*cfg.Replicas)
 	var wg sync.WaitGroup
 	for ti, tree := range trees {
+		var enc []byte
+		if cache != nil {
+			b, err := tree.MarshalBinary()
+			if err != nil {
+				panic(fmt.Sprintf("remy: encode candidate tree: %v", err))
+			}
+			enc = b
+		}
 		for k := 0; k < cfg.Replicas; k++ {
 			slot := ti*cfg.Replicas + k
+			if cache != nil {
+				keys[slot] = slotKey(cfgHash, draws[k], enc)
+				if entry, ok := cache.Get(keys[slot]); ok {
+					score, u, err := decodeSlotEntry(entry)
+					// A usage query can only be served by an entry that
+					// stored usage; anything else re-evaluates (the
+					// worker cache makes the same call).
+					if err == nil && (ti != usageFor || u != nil) {
+						scores[slot] = score
+						if ti == usageFor {
+							usages[slot] = u
+						}
+						hit[slot] = true
+						continue
+					}
+				}
+			}
 			u := t.getUsage()
 			usages[slot] = u
 			tree, k := tree, k
@@ -578,6 +647,21 @@ func (t *Trainer) evaluateLocal(cfg Config, trees []*remycc.Tree, gen, usageFor 
 	}
 	wg.Wait()
 
+	if cache != nil {
+		for slot, served := range hit {
+			if served {
+				continue
+			}
+			if slot/cfg.Replicas == usageFor {
+				// Replace upgrades a score-only entry to a usage-bearing
+				// one (identical score bits by purity), so the next
+				// usage refresh of this tree is a full hit.
+				cache.Replace(keys[slot], encodeSlotEntry(scores[slot], usages[slot]))
+			} else {
+				cache.Put(keys[slot], encodeSlotEntry(scores[slot], nil))
+			}
+		}
+	}
 	if usageFor >= 0 {
 		usageK = usages[usageFor*cfg.Replicas : (usageFor+1)*cfg.Replicas]
 	}
@@ -630,6 +714,12 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 	}
 	cfg := t.Cfg.normalize()
 	b = b.normalize()
+	// Pin the config's content hash for the whole search so the slot
+	// cache and draw memo don't re-marshal the config per batch.
+	t.evalCfgValid = false
+	t.evalCfg = t.evalCfgHash(&cfg)
+	t.evalCfgValid = true
+	defer func() { t.evalCfgValid = false }()
 	stop := t.startPool()
 	defer stop()
 	if t.Shards > 1 || len(t.ShardCmd) > 0 || len(t.Remotes) > 0 {
@@ -655,7 +745,11 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 				tree, score = t.optimizeWhisker(cfg, tree, wi, score, gen, b.MovesPerWhisker)
 			}
 			// Refresh usage (and the reference score) for the next pass
-			// or the split decision.
+			// or the split decision. When the slot cache holds
+			// usage-bearing entries for the current tree — it does
+			// whenever no move was accepted since the last refresh —
+			// this re-evaluation is served entirely from memory instead
+			// of re-simulating every replica.
 			score, usage = t.evaluate(cfg, tree, gen)
 			if score <= before+improvementEpsilon {
 				break

@@ -52,9 +52,12 @@ func (t *Trainer) startShards(cfg Config) (stop func()) {
 		Lanes:      lanes,
 		Cmd:        t.ShardCmd,
 		Transports: transports,
-		Fallback:   EvalShardJob,
-		Timeout:    t.ShardTimeout,
-		ForceJSON:  t.ShardJSON,
+		// In-process fallback lanes share the trainer's slot cache (a
+		// nil cache degrades to the plain evaluator), so local-lane and
+		// mixed-mode training memoize exactly like evaluateLocal.
+		Fallback:  CachedShardEval(t.localCache()),
+		Timeout:   t.ShardTimeout,
+		ForceJSON: t.ShardJSON,
 	}
 	if err := pool.Start(); err != nil {
 		panic(fmt.Sprintf("remy: shard pool: %v", err))
@@ -191,16 +194,19 @@ func (t *Trainer) evaluateSharded(cfg Config, trees []*remycc.Tree, gen, usageFo
 
 // EvalShardJob evaluates one shard job: it decodes the training config
 // and candidate trees, re-derives the generation's scenario draws from
-// the job's Seed and Gen (splittable RNG: same splits, same draws),
-// and scores the job's slot range. It is the pool's in-process
-// fallback and, via ServeShard, the worker binary's evaluator.
+// the job's Seed and Gen (splittable RNG: same splits, same draws —
+// derived once per (config, seed, generation) and memoized, since a
+// pipelined generation sends many jobs), and scores the job's slot
+// range. It is the worker binary's evaluator via ServeShard; the
+// pool's in-process fallback wraps it with the trainer's slot cache
+// (see startShards).
 func EvalShardJob(job *shard.Job) (*shard.Result, error) {
-	cfg, trees, err := decodeShardJob(job)
+	cfg, cfgHash, trees, err := decodeShardJob(job)
 	if err != nil {
 		return nil, err
 	}
 
-	draws := cfg.generationDraws(job.Seed, job.Gen)
+	draws := drawsFor(cfgHash, job.Seed, job.Gen, cfg)
 	n := job.SlotHi - job.SlotLo
 	res := &shard.Result{Scores: make([]float64, n)}
 	usages := make([]*remycc.UsageStats, n)

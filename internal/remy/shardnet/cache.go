@@ -2,6 +2,9 @@ package shardnet
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -33,9 +36,20 @@ type cacheEntry struct {
 // no longer match (memory corruption, a bug writing through a stale
 // reference) is evicted and counted in Stats().Rejected instead of
 // poisoning a training run.
+//
+// A cache built with NewDiskCache additionally persists every entry
+// to a directory, one file per key, and falls back to that directory
+// on a memory miss — so a restarted daemon (or a rerun of remytrain
+// pointed at the same directory) keeps its warm entries. Disk entries
+// are verified on load with the same standard the memory tier applies
+// on every hit: the file must carry the expected key and a result
+// hash matching its bytes, and anything else — truncation, a flipped
+// byte, a file renamed under the wrong key — is deleted and counted
+// in Rejected, never served.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
+	dir     string // "" = memory-only
 	entries map[Key]*cacheEntry
 	order   []Key // insertion order, for FIFO eviction
 	stats   CacheStats
@@ -45,12 +59,18 @@ type Cache struct {
 type CacheStats struct {
 	// Hits is the number of Get calls served from the cache.
 	Hits uint64
+	// DiskHits is the subset of Hits that missed in memory and were
+	// served by loading (and verifying) a persisted entry from the
+	// cache directory.
+	DiskHits uint64
 	// Misses is the number of Get calls that found no entry.
 	Misses uint64
-	// Rejected counts entries that failed the result-hash
-	// re-verification and were evicted instead of served.
+	// Rejected counts entries that failed verification — the result-
+	// hash re-check in memory, or the magic/key/hash check on a disk
+	// entry — and were evicted instead of served.
 	Rejected uint64
-	// Entries is the current entry count.
+	// Entries is the current in-memory entry count (disk entries whose
+	// keys were never asked for are not counted).
 	Entries int
 }
 
@@ -59,8 +79,9 @@ type CacheStats struct {
 // at worst.
 const DefaultCacheEntries = 65536
 
-// NewCache builds a result cache holding at most maxEntries entries
-// (0 = DefaultCacheEntries). When full, the oldest entry is evicted.
+// NewCache builds a memory-only result cache holding at most
+// maxEntries entries (0 = DefaultCacheEntries). When full, the oldest
+// entry is evicted.
 func NewCache(maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheEntries
@@ -68,13 +89,41 @@ func NewCache(maxEntries int) *Cache {
 	return &Cache{max: maxEntries, entries: make(map[Key]*cacheEntry)}
 }
 
-// Get returns the stored result bytes for key, re-verifying their hash
-// first. A failed verification evicts the entry and reports a miss.
+// NewDiskCache builds a result cache backed by dir (created if
+// missing): every Put is also written to a file named by the entry's
+// hex key, and a Get that misses in memory loads and verifies the
+// file, so entries survive process restarts. The memory tier is still
+// bounded by maxEntries; the directory is not size-bounded (entries
+// are small, and an operator can simply delete it). Several processes
+// may share one directory: files are written to a unique temp name
+// and atomically renamed into place, and every load re-verifies, so a
+// half-written or corrupted file is at worst a miss.
+func NewDiskCache(dir string, maxEntries int) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := NewCache(maxEntries)
+	c.dir = dir
+	return c, nil
+}
+
+// Dir reports the cache's spill directory ("" for a memory-only
+// cache).
+func (c *Cache) Dir() string { return c.dir }
+
+// Get returns the stored result bytes for key, re-verifying their
+// hash first — from memory, or from the spill directory on a memory
+// miss. A failed verification evicts the entry and reports a miss.
 func (c *Cache) Get(key Key) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok {
+		if res, ok := c.loadLocked(key); ok {
+			c.stats.Hits++
+			c.stats.DiskHits++
+			return res, true
+		}
 		c.stats.Misses++
 		return nil, false
 	}
@@ -88,14 +137,39 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 	return e.res, true
 }
 
-// Put stores result bytes under key, evicting the oldest entry when
-// the cache is full. The caller must not mutate res afterwards.
+// Put stores result bytes under key, evicting the oldest in-memory
+// entry when the cache is full. An existing entry is kept (see Replace
+// for the overwrite path). The caller must not mutate res afterwards.
 func (c *Cache) Put(key Key, res []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {
 		return
 	}
+	c.insertLocked(key, res)
+	c.spillLocked(key, res)
+}
+
+// Replace stores result bytes under key, overwriting any existing
+// entry. CachedShardEval and the in-process trainer cache use it to
+// upgrade a score-only slot entry to a usage-bearing one after a
+// usage query forced a re-evaluation: the score bits are identical by
+// purity, so the replacement only widens what the entry can serve.
+func (c *Cache) Replace(key Key, res []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.res = res
+		e.sum = sha256.Sum256(res)
+	} else {
+		c.insertLocked(key, res)
+	}
+	c.spillLocked(key, res)
+}
+
+// insertLocked adds a fresh entry, evicting FIFO as needed. Caller
+// holds the mutex and has checked the key is absent.
+func (c *Cache) insertLocked(key Key, res []byte) {
 	for len(c.entries) >= c.max && len(c.order) > 0 {
 		oldest := c.order[0]
 		c.order = c.order[1:]
@@ -103,6 +177,81 @@ func (c *Cache) Put(key Key, res []byte) {
 	}
 	c.entries[key] = &cacheEntry{res: res, sum: sha256.Sum256(res)}
 	c.order = append(c.order, key)
+}
+
+// diskMagic tags a persisted cache entry; a file without it (an
+// operator's stray note, a partial write from a crashed process
+// predating the temp-rename scheme) is rejected on load.
+const diskMagic = "RSC1"
+
+// entryPath is the persisted location of one key's entry.
+func (c *Cache) entryPath(key Key) string {
+	return filepath.Join(c.dir, hex.EncodeToString(key[:]))
+}
+
+// spillLocked writes an entry to the cache directory: magic, the key,
+// the result hash, then the result bytes, via a unique temp file and
+// an atomic rename so concurrent writers (or a crash mid-write) can
+// never leave a torn file under a final name. Write errors are
+// swallowed — persistence is an optimization, and a full disk must
+// not fail a training run.
+func (c *Cache) spillLocked(key Key, res []byte) {
+	if c.dir == "" {
+		return
+	}
+	sum := sha256.Sum256(res)
+	buf := make([]byte, 0, len(diskMagic)+2*len(key)+len(res))
+	buf = append(buf, diskMagic...)
+	buf = append(buf, key[:]...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, res...)
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// loadLocked fetches key's entry from the cache directory, verifying
+// magic, stored key, and result hash. A verified load is promoted
+// into the memory tier. Any malformed file — truncated, bit-flipped,
+// wrong length, or placed under the wrong name — is deleted and
+// counted in Rejected; a missing file is a plain miss.
+func (c *Cache) loadLocked(key Key) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.entryPath(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	reject := func() ([]byte, bool) {
+		os.Remove(path)
+		c.stats.Rejected++
+		return nil, false
+	}
+	header := len(diskMagic) + 2*len(key)
+	if len(b) < header || string(b[:len(diskMagic)]) != diskMagic {
+		return reject()
+	}
+	var storedKey, storedSum Key
+	copy(storedKey[:], b[len(diskMagic):])
+	copy(storedSum[:], b[len(diskMagic)+len(key):])
+	res := b[header:]
+	if storedKey != key || sha256.Sum256(res) != storedSum {
+		return reject()
+	}
+	c.insertLocked(key, res)
+	return res, true
 }
 
 // Stats snapshots the cache counters.

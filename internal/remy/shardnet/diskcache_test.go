@@ -1,0 +1,244 @@
+package shardnet
+
+// Tests for the disk-persistent cache tier: entries must survive
+// process restarts (modeled as fresh Cache instances over one
+// directory), every load must be verified with the same standard the
+// memory tier applies — truncation, bit flips, wrong-key files, and
+// stray junk are misses that evict, never wrong bytes — and several
+// processes sharing a directory must stay race-clean and correct.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// diskKey builds a distinct test key.
+func diskKey(i int) Key {
+	return sha256.Sum256([]byte(fmt.Sprintf("disk-key-%d", i)))
+}
+
+func newDiskCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	c, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDiskCachePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	first := newDiskCache(t, dir)
+	want := []byte("persisted result bytes")
+	first.Put(diskKey(1), want)
+
+	// A fresh instance over the same directory models a daemon
+	// restart: the memory tier is empty, the entry loads from disk.
+	second := newDiskCache(t, dir)
+	got, ok := second.Get(diskKey(1))
+	if !ok {
+		t.Fatal("restarted cache missed a persisted entry")
+	}
+	if string(got) != string(want) {
+		t.Fatalf("restarted cache returned %q, want %q", got, want)
+	}
+	st := second.Stats()
+	if st.Hits != 1 || st.DiskHits != 1 {
+		t.Fatalf("stats after disk hit = %+v, want 1 hit / 1 disk hit", st)
+	}
+	// The verified load was promoted: a second Get is a memory hit.
+	if _, ok := second.Get(diskKey(1)); !ok {
+		t.Fatal("promoted entry missing from memory tier")
+	}
+	if st := second.Stats(); st.DiskHits != 1 {
+		t.Fatalf("second Get went back to disk: %+v", st)
+	}
+}
+
+// entryFile locates the persisted file for a key.
+func entryFile(dir string, key Key) string {
+	return filepath.Join(dir, hex.EncodeToString(key[:]))
+}
+
+// TestDiskCacheCorruptionSuite mangles persisted entries every way a
+// disk can betray us — truncation, a flipped payload byte, a flipped
+// header byte, an empty file, a file stored under the wrong key — and
+// requires each to be a counted miss with the bad file evicted, never
+// a served result.
+func TestDiskCacheCorruptionSuite(t *testing.T) {
+	mangle := map[string]func(path string) error{
+		"truncated-payload": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, b[:len(b)-3], 0o644)
+		},
+		"truncated-inside-header": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, b[:10], 0o644)
+		},
+		"flipped-payload-byte": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			b[len(b)-1] ^= 0x40
+			return os.WriteFile(path, b, 0o644)
+		},
+		"flipped-magic-byte": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			b[0] ^= 0x01
+			return os.WriteFile(path, b, 0o644)
+		},
+		"empty-file": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+	}
+	for name, corrupt := range mangle {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := newDiskCache(t, dir)
+			c.Put(diskKey(2), []byte("soon to be mangled"))
+			path := entryFile(dir, diskKey(2))
+			if err := corrupt(path); err != nil {
+				t.Fatal(err)
+			}
+			fresh := newDiskCache(t, dir)
+			if res, ok := fresh.Get(diskKey(2)); ok {
+				t.Fatalf("corrupted entry served: %q", res)
+			}
+			st := fresh.Stats()
+			if st.Rejected != 1 || st.Misses != 1 {
+				t.Fatalf("stats after corrupted load = %+v, want 1 rejected / 1 miss", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupted file not evicted (stat err %v)", err)
+			}
+		})
+	}
+}
+
+// TestDiskCacheWrongKeyFile renames a valid entry under another key's
+// name — a swap a buggy sync tool could produce. The internal key
+// check must reject it even though magic and result hash verify.
+func TestDiskCacheWrongKeyFile(t *testing.T) {
+	dir := t.TempDir()
+	c := newDiskCache(t, dir)
+	c.Put(diskKey(3), []byte("entry for key 3"))
+	if err := os.Rename(entryFile(dir, diskKey(3)), entryFile(dir, diskKey(4))); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newDiskCache(t, dir)
+	if _, ok := fresh.Get(diskKey(4)); ok {
+		t.Fatal("entry stored under the wrong key was served")
+	}
+	if st := fresh.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want the wrong-key file rejected", st)
+	}
+	if _, err := os.Stat(entryFile(dir, diskKey(4))); !os.IsNotExist(err) {
+		t.Fatal("wrong-key file not evicted")
+	}
+}
+
+// TestDiskCacheStrayTempFilesIgnored checks that leftover temp files
+// from a crashed writer are invisible to Get (only final names are
+// ever read) and that a miss on an absent key is not a rejection.
+func TestDiskCacheStrayTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newDiskCache(t, dir)
+	if _, ok := c.Get(diskKey(5)); ok {
+		t.Fatal("absent key served")
+	}
+	if st := c.Stats(); st.Rejected != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want a plain miss", st)
+	}
+}
+
+// TestDiskCacheReplaceUpgradesDiskEntry ensures Replace rewrites the
+// persisted file too, so the widened (usage-bearing) entry is what a
+// restart loads.
+func TestDiskCacheReplaceUpgradesDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := newDiskCache(t, dir)
+	c.Put(diskKey(6), []byte("score-only"))
+	c.Replace(diskKey(6), []byte("score-plus-usage"))
+	fresh := newDiskCache(t, dir)
+	got, ok := fresh.Get(diskKey(6))
+	if !ok || string(got) != "score-plus-usage" {
+		t.Fatalf("restart loaded %q (ok=%v), want the replaced bytes", got, ok)
+	}
+}
+
+// TestDiskCacheConcurrentSharedDir hammers one directory from several
+// Cache instances at once — the concurrent-trainers-one-cache-dir
+// scenario. Every Get must return either a miss or the exact bytes put
+// under that key; the -race build of this test is the memory-safety
+// proof for the temp-file + atomic-rename write path.
+func TestDiskCacheConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		writers = 4
+		keys    = 32
+		rounds  = 20
+	)
+	value := func(k int) []byte {
+		return []byte(fmt.Sprintf("value-for-key-%d", k))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := NewDiskCache(dir, keys/2) // small memory tier forces disk traffic
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					key := diskKey(100 + k)
+					if got, ok := c.Get(key); ok {
+						if string(got) != string(value(k)) {
+							errs <- fmt.Errorf("writer %d key %d: got %q", w, k, got)
+							return
+						}
+					}
+					c.Put(key, value(k))
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the dust settles a fresh instance must read every key back
+	// verbatim.
+	c := newDiskCache(t, dir)
+	for k := 0; k < keys; k++ {
+		got, ok := c.Get(diskKey(100 + k))
+		if !ok || string(got) != string(value(k)) {
+			t.Fatalf("key %d after concurrent writes: %q (ok=%v)", k, got, ok)
+		}
+	}
+}

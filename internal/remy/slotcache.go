@@ -139,10 +139,10 @@ var cfgDecodeCache struct {
 	order []shard.Hash
 }
 
-// decodeShardConfig returns the job's normalized training config,
-// memoized by content hash so only the first job of a run pays the
-// JSON decode.
-func decodeShardConfig(job *shard.Job) (*Config, error) {
+// decodeShardConfig returns the job's normalized training config and
+// its content hash, memoized by that hash so only the first job of a
+// run pays the JSON decode.
+func decodeShardConfig(job *shard.Job) (*Config, shard.Hash, error) {
 	h := job.CfgHash
 	if h.IsZero() {
 		h = shard.HashBytes(job.Cfg)
@@ -152,17 +152,17 @@ func decodeShardConfig(job *shard.Job) (*Config, error) {
 	cfg, ok := c.cfgs[h]
 	c.mu.Unlock()
 	if ok {
-		return cfg, nil
+		return cfg, h, nil
 	}
 	var decoded Config
 	if err := json.Unmarshal(job.Cfg, &decoded); err != nil {
-		return nil, fmt.Errorf("remy: decode shard config: %w", err)
+		return nil, h, fmt.Errorf("remy: decode shard config: %w", err)
 	}
 	decoded = decoded.normalize()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cached, ok := c.cfgs[h]; ok {
-		return cached, nil
+		return cached, h, nil
 	}
 	if c.cfgs == nil {
 		c.cfgs = make(map[shard.Hash]*Config)
@@ -173,37 +173,37 @@ func decodeShardConfig(job *shard.Job) (*Config, error) {
 	}
 	c.cfgs[h] = &decoded
 	c.order = append(c.order, h)
-	return &decoded, nil
+	return &decoded, h, nil
 }
 
-// decodeShardJob validates a job and decodes its config (memoized) and
-// candidate trees — the shared front half of EvalShardJob and the
-// caching evaluator.
-func decodeShardJob(job *shard.Job) (*Config, []*remycc.Tree, error) {
-	cfg, err := decodeShardConfig(job)
+// decodeShardJob validates a job and decodes its config (memoized,
+// returned with its content hash) and candidate trees — the shared
+// front half of EvalShardJob and the caching evaluator.
+func decodeShardJob(job *shard.Job) (*Config, shard.Hash, []*remycc.Tree, error) {
+	cfg, cfgHash, err := decodeShardConfig(job)
 	if err != nil {
-		return nil, nil, err
+		return nil, cfgHash, nil, err
 	}
 	if job.Replicas != cfg.Replicas {
-		return nil, nil, fmt.Errorf("remy: job says %d replicas, config %d", job.Replicas, cfg.Replicas)
+		return nil, cfgHash, nil, fmt.Errorf("remy: job says %d replicas, config %d", job.Replicas, cfg.Replicas)
 	}
 	if job.SlotLo < 0 || job.SlotLo >= job.SlotHi {
-		return nil, nil, fmt.Errorf("remy: bad slot range [%d,%d)", job.SlotLo, job.SlotHi)
+		return nil, cfgHash, nil, fmt.Errorf("remy: bad slot range [%d,%d)", job.SlotLo, job.SlotHi)
 	}
 	if job.TreeLo < 0 || job.SlotLo/cfg.Replicas < job.TreeLo ||
 		(job.SlotHi-1)/cfg.Replicas >= job.TreeLo+len(job.Trees) {
-		return nil, nil, fmt.Errorf("remy: slot range [%d,%d) outside trees [%d,%d)",
+		return nil, cfgHash, nil, fmt.Errorf("remy: slot range [%d,%d) outside trees [%d,%d)",
 			job.SlotLo, job.SlotHi, job.TreeLo, job.TreeLo+len(job.Trees))
 	}
 	trees := make([]*remycc.Tree, len(job.Trees))
 	for i, data := range job.Trees {
 		tree, err := remycc.DecodeTree(data)
 		if err != nil {
-			return nil, nil, fmt.Errorf("remy: decode candidate tree %d: %w", job.TreeLo+i, err)
+			return nil, cfgHash, nil, fmt.Errorf("remy: decode candidate tree %d: %w", job.TreeLo+i, err)
 		}
 		trees[i] = tree
 	}
-	return cfg, trees, nil
+	return cfg, cfgHash, trees, nil
 }
 
 // jobKey is the whole-job replay address: the job re-encoded in the
@@ -256,11 +256,11 @@ func CachedShardEval(c *shardnet.Cache) shard.Eval {
 				// through to the slot tier.
 			}
 		}
-		cfg, trees, err := decodeShardJob(job)
+		cfg, _, trees, err := decodeShardJob(job)
 		if err != nil {
 			return nil, err
 		}
-		draws := cfg.generationDraws(job.Seed, job.Gen)
+		draws := drawsFor(cfgHash, job.Seed, job.Gen, cfg)
 		n := job.SlotHi - job.SlotLo
 		res := &shard.Result{Scores: make([]float64, n), Cached: true}
 		usages := make([]*remycc.UsageStats, n)
@@ -297,11 +297,16 @@ func CachedShardEval(c *shardnet.Cache) shard.Eval {
 				}
 			})
 			for _, i := range miss {
-				// Put ignores keys it already holds, so a usage-less
-				// entry is never overwritten by a usage-bearing one (or
-				// vice versa); the stored score bits are identical by
-				// purity either way.
-				c.Put(keys[i], encodeSlotEntry(res.Scores[i], usages[i]))
+				if usages[i] != nil {
+					// Replace upgrades a score-only entry to a
+					// usage-bearing one — the score bits are identical
+					// by purity, so the swap only widens what the entry
+					// can serve, and the next usage query for this slot
+					// is a full hit.
+					c.Replace(keys[i], encodeSlotEntry(res.Scores[i], usages[i]))
+				} else {
+					c.Put(keys[i], encodeSlotEntry(res.Scores[i], nil))
+				}
 			}
 		}
 		// Slots are walked in order, so usage frames come out in

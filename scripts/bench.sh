@@ -128,6 +128,37 @@ else
   echo "skipped: shard lanes time-slice a ${NPROC}-core machine; no speedup to assert"
 fi
 
+# The memoized evaluation plane must actually pay: a warm rerun of the
+# same training is served from the slot cache, so it must beat the
+# uncached trainer by a wide margin (measured ~1000x; the gate asks a
+# conservative 3x so runner noise can never trip it). The cold hit-rate
+# floor is gated by its own test — the hill-climb's neighbor overlap
+# must make a measurable fraction of slots free even on a first run.
+echo
+echo "== memoization gates =="
+awk '
+  /"name"/ {
+    name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+    v[name] = ns + 0
+  }
+  END {
+    uncached = v["BenchmarkTrainerMemoized/uncached"]
+    warm = v["BenchmarkTrainerMemoized/warm"]
+    if (uncached == 0 || warm == 0) {
+      print "skipped: memoized benchmarks missing from BENCH_core.json"
+      exit 0
+    }
+    speedup = uncached / warm
+    printf "warm rerun vs uncached: %.1fx speedup (gate: >= 3x)\n", speedup
+    if (speedup < 3) {
+      print "FAIL: warm cached training is not >= 3x faster than uncached" | "cat >&2"
+      exit 1
+    }
+  }
+' BENCH_core.json
+go test -run 'TestEvalCacheHitRateFloor' -count=1 ./internal/remy/
+
 if [ -n "$BASELINE" ]; then
   echo
   echo "== regression gate (vs $BASELINE, tolerance ${BENCH_TOLERANCE_PCT}%) =="

@@ -21,12 +21,47 @@ import (
 	"learnability/internal/cc/cubic"
 	"learnability/internal/cc/newreno"
 	"learnability/internal/cc/remycc"
+	"learnability/internal/netsim"
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
 	"learnability/internal/stats"
+	"learnability/internal/telemetry"
 	topolib "learnability/internal/topo"
 	"learnability/internal/units"
 )
+
+// pktRecord is one packet lifecycle event in the -trace JSONL stream,
+// tagged with enough sweep context (protocol, speed point, replica) to
+// slice the file without cross-referencing the table output.
+type pktRecord struct {
+	Kind   string  `json:"kind"`
+	T      float64 `json:"t"`
+	Proto  string  `json:"proto"`
+	Mbps   float64 `json:"mbps"`
+	Rep    int     `json:"rep"`
+	Link   int     `json:"link"`
+	Flow   int     `json:"flow"`
+	Seq    int64   `json:"seq"`
+	ACK    bool    `json:"ack,omitempty"`
+	CE     bool    `json:"ce,omitempty"`
+	QLen   int     `json:"qlen"`
+	QBytes int     `json:"qbytes"`
+}
+
+// ccRecord is one per-ACK congestion-control observation of a traced
+// Tao sender: which whisker fired and the state its action produced.
+type ccRecord struct {
+	Kind    string        `json:"kind"`
+	T       float64       `json:"t"`
+	Proto   string        `json:"proto"`
+	Mbps    float64       `json:"mbps"`
+	Rep     int           `json:"rep"`
+	Flow    int           `json:"flow"`
+	Whisker int           `json:"whisker"`
+	Cwnd    float64       `json:"cwnd"`
+	PaceSec float64       `json:"pace_s"`
+	Memory  remycc.Vector `json:"memory"`
+}
 
 func main() {
 	var (
@@ -57,6 +92,8 @@ func main() {
 		dur       = flag.Float64("duration", 30, "simulated seconds per run")
 		replicas  = flag.Int("replicas", 4, "runs per point")
 		seed      = flag.Uint64("seed", 1, "evaluation seed")
+		traceF    = flag.String("trace", "", "dump per-packet events (enqueue, dequeue, drops, CE marks, deliver) and per-ACK Tao whisker decisions as JSONL to this file; narrow the sweep (-points 1 -replicas 1 -duration 1) or expect a large file. Tracing never changes results")
+		traceFlws = flag.String("trace-flows", "", "comma-separated flow indices to trace (e.g. 0,1); empty traces every flow")
 	)
 	flag.Parse()
 
@@ -118,6 +155,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	var journal *telemetry.Journal
+	var traceSet map[int]bool // nil = every flow
+	if *traceF != "" {
+		journal, err = telemetry.OpenJournal(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remyeval:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "remyeval: trace journal:", err)
+			}
+		}()
+		if *traceFlws != "" {
+			traceSet = map[int]bool{}
+			for _, f := range strings.Split(*traceFlws, ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					continue
+				}
+				n, err := strconv.Atoi(f)
+				if err != nil || n < 0 {
+					fmt.Fprintf(os.Stderr, "remyeval: bad -trace-flows entry %q\n", f)
+					os.Exit(2)
+				}
+				traceSet[n] = true
+			}
+		}
+	}
+	traced := func(flow int) bool { return traceSet == nil || traceSet[flow] }
+
 	protos := []struct {
 		name string
 		mk   func() cc.Algorithm
@@ -153,7 +221,52 @@ func main() {
 					Seed:              root.SplitN("rep", rep),
 				}
 				for s := 0; s < nFlows; s++ {
-					spec.Senders = append(spec.Senders, scenario.Sender{Alg: p.mk(), Delta: *delta})
+					alg := p.mk()
+					// Traced Tao senders also journal which whisker fired
+					// per ACK; the baselines have no whisker tree, so only
+					// the packet plane observes them.
+					if journal != nil && traced(s) {
+						if rc, ok := alg.(*remycc.RemyCC); ok {
+							proto, mbps, rep, flow := p.name, mbps, rep, s
+							rc.SetTrace(func(te remycc.TraceEntry) {
+								journal.Emit(ccRecord{
+									Kind:    "cc",
+									T:       te.Time.Seconds(),
+									Proto:   proto,
+									Mbps:    mbps,
+									Rep:     rep,
+									Flow:    flow,
+									Whisker: te.Whisker,
+									Cwnd:    te.Cwnd,
+									PaceSec: te.Pace.Seconds(),
+									Memory:  te.Memory,
+								})
+							})
+						}
+					}
+					spec.Senders = append(spec.Senders, scenario.Sender{Alg: alg, Delta: *delta})
+				}
+				if journal != nil {
+					proto, mbps, rep := p.name, mbps, rep
+					spec.Trace = func(ev netsim.PacketEvent) {
+						if !traced(ev.Flow) {
+							return
+						}
+						journal.Emit(pktRecord{
+							Kind:   ev.Kind.String(),
+							T:      ev.Time.Seconds(),
+							Proto:  proto,
+							Mbps:   mbps,
+							Rep:    rep,
+							Link:   ev.Link,
+							Flow:   ev.Flow,
+							Seq:    ev.Seq,
+							ACK:    ev.ACK,
+							CE:     ev.CE,
+							QLen:   ev.QueueLen,
+							QBytes: ev.QueueBytes,
+						})
+					}
 				}
 				results, err := scenario.Run(spec)
 				if err != nil {

@@ -34,6 +34,7 @@ import (
 	"learnability/internal/prof"
 	"learnability/internal/remy"
 	"learnability/internal/remy/shardnet"
+	"learnability/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		cacheN   = flag.Int("cache", shardnet.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative disables)")
 		cacheDir = flag.String("cache-dir", "", "spill cache entries to this directory (created if missing) and reload them on restart, hash-verified; entries survive daemon lifetimes so warm restarts stay warm")
 		hb       = flag.Duration("hb", shardnet.DefaultHeartbeat, "heartbeat interval while a job evaluates")
+		metricsF = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090): connections, jobs, job latency, cache counters. GET /metrics for Prometheus text, ?format=json for JSON")
 		ppAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on SIGINT/SIGTERM)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on SIGINT/SIGTERM")
@@ -76,6 +78,26 @@ func main() {
 		Eval:      remy.CachedShardEval(cache),
 		Heartbeat: *hb,
 		Workers:   *workers,
+	}
+	if *metricsF != "" {
+		reg := telemetry.NewRegistry()
+		srv.Metrics = reg
+		// The slot cache keeps its own counters; polled Func metrics
+		// surface them on the same endpoint without double bookkeeping.
+		if cache != nil {
+			reg.Func("shardnet_cache_entries", func() float64 { return float64(cache.Stats().Entries) })
+			reg.Func("shardnet_cache_hits_total", func() float64 { return float64(cache.Stats().Hits) })
+			reg.Func("shardnet_cache_disk_hits_total", func() float64 { return float64(cache.Stats().DiskHits) })
+			reg.Func("shardnet_cache_misses_total", func() float64 { return float64(cache.Stats().Misses) })
+			reg.Func("shardnet_cache_rejected_total", func() float64 { return float64(cache.Stats().Rejected) })
+		}
+		addr, closeMetrics, err := telemetry.Serve(*metricsF, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remyshardd:", err)
+			os.Exit(2)
+		}
+		defer closeMetrics()
+		fmt.Fprintf(os.Stderr, "remyshardd: serving metrics on http://%s/metrics\n", addr)
 	}
 	if srv.Workers <= 0 {
 		srv.Workers = runtime.NumCPU()

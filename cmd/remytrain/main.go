@@ -26,6 +26,7 @@ import (
 	"learnability/internal/remy"
 	"learnability/internal/remy/shardnet"
 	"learnability/internal/scenario"
+	"learnability/internal/telemetry"
 	topolib "learnability/internal/topo"
 	"learnability/internal/units"
 )
@@ -75,6 +76,8 @@ func main() {
 		shardJSON  = flag.Bool("shard-json", false, "ship shard jobs in the JSON reference codec instead of the binary one; output is byte-identical either way")
 		evalCache  = flag.Int("eval-cache", 0, "in-process slot-cache capacity in entries (0 = default, negative disables); repeated (config, draw, tree) evaluations are served from memory, byte-identical to simulating")
 		evalDir    = flag.String("eval-cache-dir", "", "spill the in-process slot cache to this directory and reload on the next run, so warm reruns skip simulation entirely")
+		journalF   = flag.String("telemetry", "", "write one JSONL generation record (wall time, score delta, slots, cache and fabric counters) per whisker-split round to this file; fold it with scripts/telemetry-summary")
+		metricsF   = flag.String("metrics", "", "serve live metrics on this address (e.g. :9090): GET /metrics for Prometheus text, ?format=json for JSON")
 		ppAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while training")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file after training")
@@ -237,6 +240,29 @@ func main() {
 	if *verbose {
 		tr.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
+	if *metricsF != "" {
+		tr.Metrics = telemetry.NewRegistry()
+		addr, closeMetrics, err := telemetry.Serve(*metricsF, tr.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remytrain:", err)
+			os.Exit(2)
+		}
+		defer closeMetrics()
+		fmt.Fprintf(os.Stderr, "remytrain: serving metrics on http://%s/metrics\n", addr)
+	}
+	if *journalF != "" {
+		j, err := telemetry.OpenJournal(*journalF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remytrain:", err)
+			os.Exit(2)
+		}
+		tr.Journal = j
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "remytrain: telemetry journal:", err)
+			}
+		}()
+	}
 	tree := tr.Train(remy.Budget{Generations: *gens, OptPasses: *passes, MovesPerWhisker: *moves})
 
 	data, err := json.MarshalIndent(tree, "", "  ")
@@ -248,19 +274,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "write:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("trained %d whiskers -> %s\n", tree.Len(), *out)
-	if cs := tr.LocalCacheStats(); cs.Hits+cs.Misses > 0 {
-		fmt.Printf("eval cache: %d hits (%d from disk) / %d misses (%.1f%% hit rate), %d entries\n",
-			cs.Hits, cs.DiskHits, cs.Misses, 100*float64(cs.Hits)/float64(cs.Hits+cs.Misses), cs.Entries)
-	}
-	if len(remoteAddrs) > 0 {
-		hits, total := tr.ShardCacheStats()
-		pct := 0.0
-		if total > 0 {
-			pct = 100 * float64(hits) / float64(total)
-		}
-		fmt.Printf("shard cache: %d/%d results from worker caches (%.1f%% hit rate)\n", hits, total, pct)
-	}
+	// Human status goes to stderr with the progress stream; the single
+	// structured summary line — every counter the telemetry plane
+	// tallied, machine-greppable key=value — is the one stdout line
+	// besides nothing (the tree goes to -o).
+	fmt.Fprintf(os.Stderr, "trained %d whiskers -> %s\n", tree.Len(), *out)
+	cs := tr.LocalCacheStats()
+	shardHits, shardTotal := tr.ShardCacheStats()
+	drawHits, drawMisses := remy.DrawMemoStats()
+	fmt.Printf("summary: whiskers=%d slots=%d eval_cache_hits=%d eval_cache_disk_hits=%d eval_cache_misses=%d eval_cache_entries=%d shard_results=%d shard_cache_hits=%d draw_memo_hits=%d draw_memo_misses=%d\n",
+		tree.Len(), tr.SlotsEvaluated(), cs.Hits, cs.DiskHits, cs.Misses, cs.Entries,
+		shardTotal, shardHits, drawHits, drawMisses)
 }
 
 // parseVarRate assembles a scenario.VarRate from the -varrate* flags;

@@ -100,7 +100,32 @@ type RemyCC struct {
 	lastWhisker int
 
 	usage *UsageStats // nil outside training
+
+	trace func(TraceEntry) // nil outside traced evaluations
 }
+
+// TraceEntry is one per-ACK observation of a RemyCC sender: which
+// whisker fired and the state the action produced. Values are copied
+// at emit time; the entry retains nothing mutable.
+type TraceEntry struct {
+	// Time is the simulated time of the ACK.
+	Time units.Time
+	// Whisker is the index of the whisker that fired.
+	Whisker int
+	// Cwnd is the congestion window after the action applied.
+	Cwnd float64
+	// Pace is the intersend pacing interval after the action applied.
+	Pace units.Duration
+	// Memory is the signal vector the whisker matched.
+	Memory Vector
+}
+
+// SetTrace installs (or, with nil, removes) a per-ACK trace callback.
+// The callback runs on the ACK hot path and — per the telemetry
+// invisibility invariant — must not mutate protocol or simulation
+// state; it only observes, so traced runs stay bit-equal to untraced
+// ones.
+func (r *RemyCC) SetTrace(fn func(TraceEntry)) { r.trace = fn }
 
 // New returns a RemyCC executing tree with all four signals enabled.
 func New(tree *Tree) *RemyCC { return NewMasked(tree, AllSignals()) }
@@ -138,7 +163,7 @@ func (r *RemyCC) Reset(units.Time) {
 }
 
 // OnACK implements cc.Algorithm.
-func (r *RemyCC) OnACK(_ units.Time, fb cc.Feedback) {
+func (r *RemyCC) OnACK(now units.Time, fb cc.Feedback) {
 	r.memory.Observe(fb)
 	v := r.memory.Vector()
 	i := r.tree.LookupCached(v, r.lastWhisker)
@@ -158,6 +183,9 @@ func (r *RemyCC) OnACK(_ units.Time, fb cc.Feedback) {
 		r.cwnd = maxWindow
 	}
 	r.pace = units.DurationFromSeconds(a.Intersend)
+	if r.trace != nil {
+		r.trace(TraceEntry{Time: now, Whisker: i, Cwnd: r.cwnd, Pace: r.pace, Memory: v})
+	}
 }
 
 // OnLoss implements cc.Algorithm. Tao protocols do not react to loss.

@@ -101,6 +101,15 @@ type Link struct {
 
 	pool *packet.Pool // optional; recycles packets rejected at enqueue
 
+	// trace, when non-nil, receives packet lifecycle events (see
+	// SetTrace). Nil in normal runs, so the hot path pays the same
+	// single predictable branch as tallyIn. traceID is the link
+	// identifier stamped into events; lastTailDrops classifies drop
+	// callbacks (tail vs AQM) by which stats counter advanced.
+	trace         PacketTracer
+	traceID       int
+	lastTailDrops int64
+
 	txMTU units.Duration // precomputed serialization time of a data packet
 	txACK units.Duration // precomputed serialization time of an ACK
 
@@ -174,6 +183,8 @@ func (l *Link) Reinit(rate units.Rate, prop units.Duration, q queue.Discipline) 
 	l.rr = nil
 	l.in, l.out = 0, 0
 	l.tallyIn, l.tallyOut = nil, nil
+	l.trace = nil
+	l.lastTailDrops = 0
 	if pa, ok := q.(queue.PoolAware); ok {
 		pa.SetPool(l.pool)
 	}
@@ -326,6 +337,10 @@ func (l *Link) Deliver(now units.Time, p *packet.Packet) {
 	if l.tallyIn != nil {
 		l.tallyIn[p.Flow]++
 	}
+	if l.trace != nil {
+		l.deliverTraced(now, p)
+		return
+	}
 	if !l.q.Enqueue(now, p) {
 		l.pool.Put(p)
 	}
@@ -340,6 +355,9 @@ func (l *Link) kick(now units.Time) {
 	p := l.q.Dequeue(now)
 	if p == nil {
 		return
+	}
+	if l.trace != nil {
+		l.emit(TraceDequeue, now, p)
 	}
 	l.busy = true
 	l.txPkt = p

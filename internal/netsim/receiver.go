@@ -27,6 +27,10 @@ type Receiver struct {
 	cum int64 // highest in-order sequence received; -1 initially
 	ooo *ringOoo
 
+	// trace, when non-nil, receives a TraceDeliver event per arriving
+	// data packet; nil in normal runs (one predictable branch).
+	trace PacketTracer
+
 	// ackQ holds ACKs in flight on the reverse path, in arrival order.
 	ackQ      pktRing
 	deliverFn func()
@@ -57,6 +61,7 @@ func (r *Receiver) Reinit(ackDelay units.Duration) {
 	r.cum = -1
 	r.ooo.reset()
 	r.ackQ.drainTo(r.pool)
+	r.trace = nil
 }
 
 // SetSender wires the reverse path. It must be called before traffic
@@ -102,6 +107,16 @@ func (r *Receiver) Deliver(now units.Time, p *packet.Packet) {
 		// cumulative ack re-synchronizes the sender).
 	}
 
+	if r.trace != nil {
+		r.trace(PacketEvent{
+			Kind: TraceDeliver,
+			Time: now,
+			Link: -1,
+			Flow: p.Flow,
+			Seq:  p.Seq,
+			CE:   p.CE,
+		})
+	}
 	ack := r.pool.ACK(p, r.cum, now)
 	r.pool.Put(p) // data packet consumed
 	r.ackQ.push(ack)

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"learnability/internal/packet"
+	"learnability/internal/queue"
+	"learnability/internal/units"
+)
+
+// PacketEventKind identifies what happened to a packet at a trace
+// point.
+type PacketEventKind uint8
+
+// Packet lifecycle events emitted by traced links and receivers.
+const (
+	// TraceEnqueue: the packet was accepted by a link's ingress queue.
+	TraceEnqueue PacketEventKind = iota
+	// TraceDequeue: the packet left the queue and began serializing.
+	TraceDequeue
+	// TraceDropTail: the packet was dropped at enqueue time — a
+	// rejected arrival or a fair-queueing victim eviction.
+	TraceDropTail
+	// TraceDropAQM: the packet was dropped by active queue management
+	// at dequeue time (the CoDel control law).
+	TraceDropAQM
+	// TraceMarkCE: the packet was CE-marked instead of dropped.
+	TraceMarkCE
+	// TraceDeliver: the packet reached its flow's receiver.
+	TraceDeliver
+)
+
+// String names the event kind for journals and debugging.
+func (k PacketEventKind) String() string {
+	switch k {
+	case TraceEnqueue:
+		return "enqueue"
+	case TraceDequeue:
+		return "dequeue"
+	case TraceDropTail:
+		return "drop_tail"
+	case TraceDropAQM:
+		return "drop_aqm"
+	case TraceMarkCE:
+		return "mark_ce"
+	case TraceDeliver:
+		return "deliver"
+	}
+	return "unknown"
+}
+
+// PacketEvent is one observation of a packet at a trace point. Values
+// are copied out of the packet at emit time — the packet itself may be
+// recycled as soon as the tracer returns, so the event retains no
+// pointer into the simulation.
+type PacketEvent struct {
+	// Kind says what happened.
+	Kind PacketEventKind
+	// Time is the simulated time of the event.
+	Time units.Time
+	// Link is the traced link's identifier (its index in
+	// Network.Links), or -1 for receiver deliver events.
+	Link int
+	// Flow is the packet's flow ID.
+	Flow int
+	// Seq is the packet's sequence number.
+	Seq int64
+	// ACK reports whether the packet is an ACK (reverse-path
+	// congestion scenarios route ACKs through links).
+	ACK bool
+	// CE reports the packet's ECN congestion-experienced bit at the
+	// instant of the event.
+	CE bool
+	// QueueLen is the link queue's occupancy in packets just after the
+	// event (0 for deliver events).
+	QueueLen int
+	// QueueBytes is the occupancy in bytes just after the event.
+	QueueBytes int
+}
+
+// PacketTracer consumes packet events. Tracers run synchronously on
+// the simulation's hot path: they must not retain the event past the
+// call, and — the telemetry invisibility invariant — must not mutate
+// simulation state, so that traced and untraced runs stay bit-equal.
+type PacketTracer func(ev PacketEvent)
+
+// emit builds an event from the packet's current fields and the
+// queue's current depth, and hands it to the tracer.
+func (l *Link) emit(kind PacketEventKind, now units.Time, p *packet.Packet) {
+	l.trace(PacketEvent{
+		Kind:       kind,
+		Time:       now,
+		Link:       l.traceID,
+		Flow:       p.Flow,
+		Seq:        p.Seq,
+		ACK:        p.IsACK,
+		CE:         p.CE,
+		QueueLen:   l.q.Len(),
+		QueueBytes: l.q.Bytes(),
+	})
+}
+
+// SetTrace installs (or, with a nil tracer, removes) a packet tracer
+// on the link. The link emits enqueue/dequeue events itself and
+// installs drop and mark recorders on its queueing discipline to
+// capture tail drops, victim evictions, AQM drops, and CE marks —
+// replacing any recorder a previous caller installed. id is the
+// identifier stamped into events (conventionally the link's index in
+// Network.Links). Reinit clears the tracer, so recycled worlds start
+// untraced.
+func (l *Link) SetTrace(id int, t PacketTracer) {
+	l.traceID = id
+	l.trace = t
+	if t == nil {
+		if dr, ok := l.q.(interface{ SetDropRecorder(queue.DropRecorder) }); ok {
+			dr.SetDropRecorder(nil)
+		}
+		if mr, ok := l.q.(interface{ SetMarkRecorder(queue.MarkRecorder) }); ok {
+			mr.SetMarkRecorder(nil)
+		}
+		return
+	}
+	// Tail and AQM drops arrive through the same recorder; they are
+	// told apart by which stats counter advanced, which also covers
+	// victim evictions (a tail drop of a packet other than the arrival).
+	st := l.q.Stats()
+	l.lastTailDrops = st.DropsTail
+	if dr, ok := l.q.(interface{ SetDropRecorder(queue.DropRecorder) }); ok {
+		dr.SetDropRecorder(func(now units.Time, p *packet.Packet) {
+			kind := TraceDropAQM
+			if s := l.q.Stats(); s.DropsTail > l.lastTailDrops {
+				kind = TraceDropTail
+				l.lastTailDrops = s.DropsTail
+			}
+			l.emit(kind, now, p)
+		})
+	}
+	if mr, ok := l.q.(interface{ SetMarkRecorder(queue.MarkRecorder) }); ok {
+		mr.SetMarkRecorder(func(now units.Time, p *packet.Packet) {
+			l.emit(TraceMarkCE, now, p)
+		})
+	}
+}
+
+// deliverTraced is Deliver's slow-path tail when a tracer is
+// installed: same queue/kick sequence, plus an enqueue event on
+// acceptance (rejections are reported by the queue's drop recorder).
+func (l *Link) deliverTraced(now units.Time, p *packet.Packet) {
+	if l.q.Enqueue(now, p) {
+		l.emit(TraceEnqueue, now, p)
+	} else {
+		l.pool.Put(p)
+	}
+	l.kick(now)
+}
+
+// SetTrace installs (or removes) a packet tracer on the receiver,
+// which emits one TraceDeliver event per arriving data packet.
+func (r *Receiver) SetTrace(t PacketTracer) { r.trace = t }

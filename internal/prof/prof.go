@@ -10,7 +10,9 @@
 package prof
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
@@ -23,19 +25,25 @@ import (
 // Start enables the requested profiling sinks: a net/http/pprof
 // listener on httpAddr, a CPU profile streamed to cpuFile, and a heap
 // profile written to memFile when stop runs. An empty string disables
-// the corresponding sink. The returned stop flushes and closes the
-// file-based sinks; call it exactly once on the way out (long-running
-// daemons should pair it with StopOnSignal so a SIGTERM still flushes
-// the CPU profile).
+// the corresponding sink. The listener is bound synchronously, so an
+// unusable address (taken port, bad syntax) fails here with a clear
+// error instead of a background log line after the run has started.
+// The returned stop closes the listener and flushes the file-based
+// sinks; call it exactly once on the way out (long-running daemons
+// should pair it with StopOnSignal so a SIGTERM still flushes the CPU
+// profile).
 func Start(httpAddr, cpuFile, memFile string) (stop func(), err error) {
+	var httpLn net.Listener
 	if httpAddr != "" {
-		ln := httpAddr
+		httpLn, err = net.Listen("tcp", httpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: pprof listener %s: %w", httpAddr, err)
+		}
 		go func() {
-			// The pprof mux is registered by the blank import; serving
-			// it is best-effort — a taken port must not kill a training
-			// run that only wanted the file-based profiles.
-			if err := http.ListenAndServe(ln, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "prof: pprof listener %s: %v\n", ln, err)
+			// The pprof mux is registered by the blank import; closure
+			// via stop is the expected exit.
+			if err := http.Serve(httpLn, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "prof: pprof listener %s: %v\n", httpAddr, err)
 			}
 		}()
 	}
@@ -43,14 +51,23 @@ func Start(httpAddr, cpuFile, memFile string) (stop func(), err error) {
 	if cpuFile != "" {
 		cpu, err = os.Create(cpuFile)
 		if err != nil {
+			if httpLn != nil {
+				httpLn.Close()
+			}
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpu); err != nil {
 			cpu.Close()
+			if httpLn != nil {
+				httpLn.Close()
+			}
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
 	return func() {
+		if httpLn != nil {
+			httpLn.Close()
+		}
 		if cpu != nil {
 			pprof.StopCPUProfile()
 			cpu.Close()

@@ -1,0 +1,137 @@
+package prof
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be callable
+}
+
+func TestProfileFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start("", cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample (an
+	// empty profile is still a valid non-empty proto, but be real).
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestHTTPListenerServes(t *testing.T) {
+	stop, err := Start("127.0.0.1:0", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start does not return the bound address (the flags carry explicit
+	// ports in real use), so bind a fixed loopback port instead.
+	stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	stop2, err := Start(addr, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status %d", resp.StatusCode)
+	}
+}
+
+func TestBadAddressErrors(t *testing.T) {
+	if _, err := Start("not-an-address", "", ""); err == nil {
+		t.Fatal("bad pprof address did not error")
+	}
+	// A taken port must fail loudly at Start, not log in the background.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Start(ln.Addr().String(), "", ""); err == nil {
+		t.Fatal("taken pprof port did not error")
+	}
+}
+
+func TestBadProfilePathErrors(t *testing.T) {
+	if _, err := Start("", t.TempDir()+"/no/such/dir/cpu.prof", ""); err == nil {
+		t.Fatal("unwritable cpu profile path did not error")
+	}
+}
+
+// TestSignalFlushHelper is not a test: re-executed with
+// PROF_SIGNAL_HELPER=1 it starts profiling, arms StopOnSignal, and
+// SIGTERMs itself; StopOnSignal must flush the profiles and exit 0
+// before the fallback exit fires.
+func TestSignalFlushHelper(t *testing.T) {
+	if os.Getenv("PROF_SIGNAL_HELPER") != "1" {
+		t.Skip("signal-flush helper; not a test")
+	}
+	stop, err := Start("", os.Getenv("PROF_CPU"), os.Getenv("PROF_MEM"))
+	if err != nil {
+		os.Exit(2)
+	}
+	StopOnSignal(stop)
+	syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	time.Sleep(10 * time.Second)
+	os.Exit(3) // StopOnSignal should have exited long before this
+}
+
+func TestSIGTERMFlushesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	cmd := exec.Command(os.Args[0], "-test.run=^TestSignalFlushHelper$")
+	cmd.Env = append(os.Environ(),
+		"PROF_SIGNAL_HELPER=1", "PROF_CPU="+cpu, "PROF_MEM="+mem)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("helper process: %v\n%s", err, out)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("SIGTERM did not flush %s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("SIGTERM flushed an empty %s", path)
+		}
+	}
+}

@@ -28,6 +28,7 @@ type CoDel struct {
 	q        fifo
 	stats    Stats
 	onDrop   DropRecorder
+	onMark   MarkRecorder
 	pool     *packet.Pool
 
 	target   units.Duration
@@ -65,6 +66,10 @@ func NewCoDelParams(capBytes int, target, interval units.Duration) *CoDel {
 
 // SetDropRecorder registers a callback invoked for each dropped packet.
 func (c *CoDel) SetDropRecorder(r DropRecorder) { c.onDrop = r }
+
+// SetMarkRecorder registers a callback invoked for each CE-marked
+// packet.
+func (c *CoDel) SetMarkRecorder(r MarkRecorder) { c.onMark = r }
 
 // SetPool implements PoolAware: packets CoDel drops at dequeue time
 // (packets it had accepted) are recycled.
@@ -133,9 +138,12 @@ func (c *CoDel) drop(now units.Time, p *packet.Packet) {
 // mark CE-marks a packet the control law scheduled for a drop. Marked
 // packets stay in the delivery path: they count in Dequeued, never in
 // the drop counters.
-func (c *CoDel) mark(p *packet.Packet) {
+func (c *CoDel) mark(now units.Time, p *packet.Packet) {
 	p.CE = true
 	c.stats.MarksECN++
+	if c.onMark != nil {
+		c.onMark(now, p)
+	}
 }
 
 // Dequeue implements Discipline, applying the CoDel state machine: it
@@ -153,7 +161,7 @@ func (c *CoDel) Dequeue(now units.Time) *packet.Packet {
 			if c.markECN && p.ECT {
 				// ECN: mark instead of drop and deliver this packet; the
 				// control law advances exactly as if it had dropped.
-				c.mark(p)
+				c.mark(now, p)
 				c.count++
 				c.dropNext = c.controlLaw(c.dropNext)
 				break
@@ -172,7 +180,7 @@ func (c *CoDel) Dequeue(now units.Time) *packet.Packet {
 		// forwards the successor through doDequeue so the sojourn /
 		// firstAboveTime bookkeeping stays coherent (RFC 8289 dodeque).
 		if c.markECN && p.ECT {
-			c.mark(p)
+			c.mark(now, p)
 		} else {
 			c.drop(now, p)
 			p, _ = c.doDequeue(now)

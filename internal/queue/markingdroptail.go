@@ -17,6 +17,7 @@ type MarkingDropTail struct {
 	q         fifo
 	stats     Stats
 	onDrop    DropRecorder
+	onMark    MarkRecorder
 }
 
 // NewMarkingDropTail returns a marking drop-tail FIFO holding at most
@@ -35,6 +36,10 @@ func NewMarkingDropTail(capBytes, markBytes int) *MarkingDropTail {
 
 // SetDropRecorder registers a callback invoked for each dropped packet.
 func (d *MarkingDropTail) SetDropRecorder(r DropRecorder) { d.onDrop = r }
+
+// SetMarkRecorder registers a callback invoked for each CE-marked
+// packet.
+func (d *MarkingDropTail) SetMarkRecorder(r MarkRecorder) { d.onMark = r }
 
 // Capacity reports the configured capacity in bytes.
 func (d *MarkingDropTail) Capacity() int { return d.capBytes }
@@ -55,6 +60,9 @@ func (d *MarkingDropTail) Enqueue(now units.Time, p *packet.Packet) bool {
 	if p.ECT && d.q.bytes+p.Size > d.markBytes {
 		p.CE = true
 		d.stats.MarksECN++
+		if d.onMark != nil {
+			d.onMark(now, p)
+		}
 	}
 	p.EnqueuedAt = now
 	d.q.push(p)

@@ -51,6 +51,13 @@ func (s Stats) Drops() int64 { return s.DropsTail + s.DropsAQM }
 // need rather than retain the pointer.
 type DropRecorder func(now units.Time, p *packet.Packet)
 
+// MarkRecorder receives a callback for every packet a discipline
+// CE-marks instead of dropping; the telemetry trace plane uses it to
+// emit mark events with queue depth. The packet is still owned by the
+// discipline (marked packets stay in the delivery path), so recorders
+// must copy any fields they need rather than retain the pointer.
+type MarkRecorder func(now units.Time, p *packet.Packet)
+
 // PoolAware is implemented by disciplines that can return dropped
 // packets to a packet pool. Ownership rule: a discipline owns packets
 // it has accepted (Enqueue returned true), so drops of owned packets —

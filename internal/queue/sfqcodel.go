@@ -62,6 +62,14 @@ func (s *SFQCoDel) SetDropRecorder(r DropRecorder) {
 	}
 }
 
+// SetMarkRecorder registers a callback invoked for each CE-marked
+// packet, propagated to every bin's CoDel instance.
+func (s *SFQCoDel) SetMarkRecorder(r MarkRecorder) {
+	for _, b := range s.bins {
+		b.SetMarkRecorder(r)
+	}
+}
+
 // SetPool implements PoolAware: victim packets evicted from the
 // longest bin at enqueue time and CoDel drops inside bins are
 // recycled.

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"learnability/internal/remy/shard"
 	"learnability/internal/remy/shardnet"
@@ -52,6 +53,18 @@ var drawMemo struct {
 	order []drawMemoKey
 }
 
+// drawMemoHits/drawMemoMisses count memo consultations process-wide;
+// atomics because pipelined lanes race drawsFor, and the telemetry
+// journal reads them from the Train goroutine.
+var drawMemoHits, drawMemoMisses atomic.Int64
+
+// DrawMemoStats reports the process-wide draw-memo hit and miss counts
+// (a miss is one full generationDraws derivation). The trainer's
+// telemetry journal records per-generation deltas.
+func DrawMemoStats() (hits, misses int64) {
+	return drawMemoHits.Load(), drawMemoMisses.Load()
+}
+
 // drawsFor returns one generation's scenario draws, derived once per
 // (config, seed, generation) and shared thereafter. The caller must
 // treat the slice and its draws as immutable.
@@ -61,9 +74,11 @@ func drawsFor(cfgHash shard.Hash, seed uint64, gen int, cfg *Config) []draw {
 	m.mu.Lock()
 	if draws, ok := m.m[key]; ok {
 		m.mu.Unlock()
+		drawMemoHits.Add(1)
 		return draws
 	}
 	m.mu.Unlock()
+	drawMemoMisses.Add(1)
 	draws := cfg.generationDraws(seed, gen)
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"learnability/internal/cc/newreno"
@@ -26,6 +27,7 @@ import (
 	"learnability/internal/rng"
 	"learnability/internal/scenario"
 	"learnability/internal/stats"
+	"learnability/internal/telemetry"
 	"learnability/internal/units"
 )
 
@@ -400,6 +402,17 @@ type Trainer struct {
 	// (0 = shardnet.DefaultCacheEntries).
 	EvalCacheEntries int
 
+	// Metrics, when non-nil, receives the trainer's live series (slot
+	// and cache totals, per-generation score gauges) and is handed to
+	// the shard pool and its shardnet dialers for per-lane fabric
+	// metrics; cmd/remytrain serves it on `-metrics`. Purely
+	// observational: metrics never change training results.
+	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives one GenerationRecord per
+	// whisker-split round (`remytrain -telemetry gen.jsonl`). The
+	// caller owns Close. Journaling never changes training results.
+	Journal *telemetry.Journal
+
 	// evalCfg and evalCfgValid memoize the content hash of the
 	// normalized training config for the duration of one Train call
 	// (see evalCfgHash); the hash addresses the in-process cache and
@@ -433,6 +446,11 @@ type Trainer struct {
 	// how many of them were served from worker-side caches (Train
 	// goroutine only; read via ShardCacheStats after Train).
 	shardResults, shardCacheHits uint64
+
+	// slotsEvaluated counts (tree x replica) evaluation slots requested
+	// across the Trainer's lifetime, cache hits included. Atomic so a
+	// Metrics scrape can read it from the HTTP goroutine mid-Train.
+	slotsEvaluated atomic.Int64
 }
 
 // ShardCacheStats reports, after a sharded Train, how many shard
@@ -441,6 +459,13 @@ type Trainer struct {
 // report cache hits). cmd/remytrain surfaces the hit rate.
 func (t *Trainer) ShardCacheStats() (hits, total uint64) {
 	return t.shardCacheHits, t.shardResults
+}
+
+// SlotsEvaluated reports the total (tree x replica) evaluation slots
+// requested across the Trainer's lifetime, cache hits included —
+// the denominator for every cache hit rate cmd/remytrain summarizes.
+func (t *Trainer) SlotsEvaluated() int64 {
+	return t.slotsEvaluated.Load()
 }
 
 // Budget bounds the search effort.
@@ -553,6 +578,7 @@ func (t *Trainer) evaluateBatch(cfg Config, trees []*remycc.Tree, gen, usageFor 
 		usageFor = -1
 	}
 	scores := make([]float64, len(trees)*cfg.Replicas)
+	t.slotsEvaluated.Add(int64(len(scores)))
 	var usageK []*remycc.UsageStats // per-replica usage of trees[usageFor]
 	var recycle []*remycc.UsageStats
 	if t.shards != nil {
@@ -733,7 +759,28 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 		tree = tree.WithAction(0, a)
 	}
 
+	// The telemetry layer (generation journal, registry gauges) only
+	// observes: wall clocks and counter snapshots happen outside the
+	// float work, so instrumented and plain runs train byte-identical
+	// trees.
+	instrumented := t.Journal != nil || t.Metrics != nil
+	t.registerTrainerMetrics()
+	// Journal records buffer in memory; flush when training ends so a
+	// caller that reads the journal right after Train sees every
+	// generation (Close still owns the underlying file).
+	defer func() {
+		if err := t.Journal.Flush(); err != nil {
+			t.logf("remy: telemetry journal: %v", err)
+		}
+	}()
+	var prevScore float64
 	for gen := 0; ; gen++ {
+		var genStart time.Time
+		var snap genSnapshot
+		if instrumented {
+			genStart = time.Now()
+			snap = t.counterSnapshot()
+		}
 		score, usage := t.evaluate(cfg, tree, gen)
 		t.logf("gen %d: score %.4f, %d whiskers", gen, score, tree.Len())
 
@@ -756,32 +803,51 @@ func (t *Trainer) Train(b Budget) *remycc.Tree {
 			}
 		}
 
-		if gen >= b.Generations {
-			break
-		}
-
 		// Split the most-used whisker — at its mean observed memory by
-		// default, or at its domain midpoint under the ablation.
-		wi := usage.MostUsed()
-		if wi < 0 {
-			t.logf("gen %d: no whisker usage; stopping", gen)
-			break
-		}
-		at := usage.Mean(wi)
-		if cfg.SplitAtMidpoint {
-			dom := tree.Whiskers[wi].Domain
-			for d := 0; d < remycc.NumSignals; d++ {
-				at[d] = (dom.Lo[d] + dom.Hi[d]) / 2
+		// default, or at its domain midpoint under the ablation — unless
+		// the generation budget is spent. The decision is folded into
+		// one (splitW, note, done) triple so a single journal emission
+		// covers every exit path.
+		splitW, note, done := -1, "", false
+		switch {
+		case gen >= b.Generations:
+			done = true
+		default:
+			wi := usage.MostUsed()
+			if wi < 0 {
+				t.logf("gen %d: no whisker usage; stopping", gen)
+				note, done = "no-usage", true
+				break
 			}
+			at := usage.Mean(wi)
+			if cfg.SplitAtMidpoint {
+				dom := tree.Whiskers[wi].Domain
+				for d := 0; d < remycc.NumSignals; d++ {
+					at[d] = (dom.Lo[d] + dom.Hi[d]) / 2
+				}
+			}
+			dims := enabledDims(cfg.Mask)
+			nt, ok := tree.Split(wi, at, dims)
+			if !ok {
+				t.logf("gen %d: split degenerate; stopping", gen)
+				note, done = "split-degenerate", true
+				break
+			}
+			splitW = wi
+			tree = nt
+			t.logf("gen %d: split whisker %d -> %d whiskers", gen, wi, tree.Len())
 		}
-		dims := enabledDims(cfg.Mask)
-		nt, ok := tree.Split(wi, at, dims)
-		if !ok {
-			t.logf("gen %d: split degenerate; stopping", gen)
+		if instrumented {
+			delta := 0.0
+			if gen > 0 {
+				delta = score - prevScore
+			}
+			t.emitGeneration(gen, genStart, snap, score, delta, tree.Len(), splitW, note)
+		}
+		prevScore = score
+		if done {
 			break
 		}
-		tree = nt
-		t.logf("gen %d: split whisker %d -> %d whiskers", gen, wi, tree.Len())
 	}
 	return tree
 }

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"learnability/internal/telemetry"
 )
 
 // Transport establishes worker connections for one pool lane. The
@@ -179,6 +181,12 @@ type Pool struct {
 	// ForceJSON pins local process lanes to the JSON reference codec;
 	// remote transports carry their own flag.
 	ForceJSON bool
+	// Metrics, when non-nil, receives per-lane fabric metrics
+	// (dispatched jobs, job latency, in-flight window occupancy,
+	// requeues, NeedCfg refetches, reconnects, in-process fallbacks)
+	// under names labeled lane="<index>:<transport name>". Nil keeps
+	// the dispatch path free of clock reads.
+	Metrics *telemetry.Registry
 
 	lanes []*lane // built by Start; nil entries never occur
 }
@@ -188,6 +196,33 @@ type Pool struct {
 type lane struct {
 	transport Transport
 	conn      Conn
+	m         laneMetrics
+}
+
+// laneMetrics holds one lane's metric handles; all nil when pool
+// metrics are off, so call sites rely on telemetry's nil-safety.
+type laneMetrics struct {
+	jobs       *telemetry.Counter   // results delivered by this lane
+	jobNanos   *telemetry.Histogram // Send-to-result latency
+	inflight   *telemetry.Gauge     // current window occupancy
+	requeues   *telemetry.Counter   // jobs returned to the queue on a fault
+	refetches  *telemetry.Counter   // NeedCfg config resends
+	reconnects *telemetry.Counter   // connection replacements
+	fallbacks  *telemetry.Counter   // jobs evaluated in-process
+}
+
+// mkLaneMetrics resolves the handle set for lane i of the registry.
+func mkLaneMetrics(reg *telemetry.Registry, i int, name string) laneMetrics {
+	label := fmt.Sprintf("{lane=\"%d:%s\"}", i, name)
+	return laneMetrics{
+		jobs:       reg.Counter("shard_lane_jobs_total" + label),
+		jobNanos:   reg.Histogram("shard_lane_job_ns" + label),
+		inflight:   reg.Gauge("shard_lane_inflight" + label),
+		requeues:   reg.Counter("shard_lane_requeues_total" + label),
+		refetches:  reg.Counter("shard_lane_cfg_refetches_total" + label),
+		reconnects: reg.Counter("shard_lane_reconnects_total" + label),
+		fallbacks:  reg.Counter("shard_lane_fallbacks_total" + label),
+	}
 }
 
 // NumLanes reports the pool's total lane count (local + transports) as
@@ -239,6 +274,15 @@ func (p *Pool) Start() error {
 	}
 	for _, t := range p.Transports {
 		p.lanes = append(p.lanes, &lane{transport: t})
+	}
+	if p.Metrics != nil {
+		for i, l := range p.lanes {
+			name := "local"
+			if l.transport != nil {
+				name = l.transport.Name()
+			}
+			l.m = mkLaneMetrics(p.Metrics, i, name)
+		}
 	}
 	for i, l := range p.lanes {
 		if l.transport == nil {
@@ -341,7 +385,7 @@ func (p *Pool) runLane(l *lane, queue chan *Job, done <-chan struct{}, deliver f
 			case <-done:
 				return
 			case job := <-queue:
-				p.fallbackJob(job, deliver)
+				p.fallbackJob(l, job, deliver)
 			}
 			continue
 		}
@@ -351,8 +395,11 @@ func (p *Pool) runLane(l *lane, queue chan *Job, done <-chan struct{}, deliver f
 	}
 }
 
-// fallbackJob evaluates one job in-process and delivers it.
-func (p *Pool) fallbackJob(job *Job, deliver func(*Job, *Result)) {
+// fallbackJob evaluates one job in-process on behalf of lane l and
+// delivers it.
+func (p *Pool) fallbackJob(l *lane, job *Job, deliver func(*Job, *Result)) {
+	l.m.jobs.Inc()
+	l.m.fallbacks.Inc()
 	res, err := p.Fallback(job)
 	if err != nil {
 		deliver(job, &Result{ID: job.ID, Err: err.Error()})
@@ -376,12 +423,16 @@ func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver
 	// capacity covers the whole batch, so this never blocks) and
 	// replaces the connection.
 	abort := func(failed *Job) {
+		n := int64(len(window))
 		if failed != nil {
+			n++
 			queue <- failed
 		}
 		for _, job := range window {
 			queue <- job
 		}
+		l.m.requeues.Add(n)
+		l.m.inflight.Set(0)
 		p.reconnect(l)
 	}
 	for {
@@ -405,7 +456,7 @@ func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver
 				}
 			}
 			if job.attempts >= p.MaxAttempts {
-				p.fallbackJob(job, deliver)
+				p.fallbackJob(l, job, deliver)
 				continue
 			}
 			job.attempts++
@@ -413,7 +464,11 @@ func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver
 				abort(job)
 				return true
 			}
+			if l.m.jobNanos != nil {
+				job.sentAt = time.Now()
+			}
 			window[job.ID] = job
+			l.m.inflight.Set(float64(len(window)))
 		}
 		res, err := l.conn.Recv(p.Timeout)
 		if err != nil {
@@ -436,6 +491,7 @@ func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver
 				return true
 			}
 			refetched[res.ID] = true
+			l.m.refetches.Inc()
 			if err := l.conn.Send(job, true); err != nil {
 				abort(nil)
 				return true
@@ -443,6 +499,11 @@ func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver
 			continue
 		}
 		delete(window, res.ID)
+		l.m.jobs.Inc()
+		if l.m.jobNanos != nil {
+			l.m.jobNanos.Observe(time.Since(job.sentAt).Nanoseconds())
+		}
+		l.m.inflight.Set(float64(len(window)))
 		deliver(job, res)
 	}
 }
@@ -451,6 +512,7 @@ func (p *Pool) runWindow(l *lane, queue chan *Job, done <-chan struct{}, deliver
 // redial fails the lane is marked dead and its future jobs run
 // in-process.
 func (p *Pool) reconnect(l *lane) {
+	l.m.reconnects.Inc()
 	if l.conn != nil {
 		l.conn.Close()
 	}

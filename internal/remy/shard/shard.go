@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"learnability/internal/cc/remycc"
 )
@@ -94,6 +95,10 @@ type Job struct {
 	// attempts counts process deliveries tried for this job
 	// (coordinator side only).
 	attempts int
+	// sentAt stamps the job's last Send on a worker lane, for the
+	// pool's job-latency histogram (coordinator side only; zero when
+	// pool metrics are off).
+	sentAt time.Time
 }
 
 // Result is a worker's answer to one Job.

@@ -46,7 +46,7 @@ func (t *Trainer) startShards(cfg Config) (stop func()) {
 	}
 	transports := make([]shard.Transport, len(t.Remotes))
 	for i, addr := range t.Remotes {
-		transports[i] = &shardnet.Dialer{Addr: addr, ForceJSON: t.ShardJSON}
+		transports[i] = &shardnet.Dialer{Addr: addr, ForceJSON: t.ShardJSON, Metrics: t.Metrics}
 	}
 	pool := &shard.Pool{
 		Lanes:      lanes,
@@ -58,6 +58,7 @@ func (t *Trainer) startShards(cfg Config) (stop func()) {
 		Fallback:  CachedShardEval(t.localCache()),
 		Timeout:   t.ShardTimeout,
 		ForceJSON: t.ShardJSON,
+		Metrics:   t.Metrics,
 	}
 	if err := pool.Start(); err != nil {
 		panic(fmt.Sprintf("remy: shard pool: %v", err))

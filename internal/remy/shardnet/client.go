@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"learnability/internal/remy/shard"
+	"learnability/internal/telemetry"
 )
 
 // clientWriteTimeout bounds any single job-frame write, so a vanished
@@ -31,6 +32,12 @@ type Dialer struct {
 	// ForceJSON pins connections to the JSON reference codec instead
 	// of the binary one; the codec differential tests drive both.
 	ForceJSON bool
+	// Metrics, when non-nil, records the worker's heartbeat cadence as
+	// observed by this client: the gap between consecutive heartbeat
+	// frames while a job is running, in a histogram labeled by worker
+	// address. The gap exceeds the advertised interval by network plus
+	// scheduling delay, making it a cheap heartbeat-RTT proxy.
+	Metrics *telemetry.Registry
 }
 
 func (d *Dialer) version() int {
@@ -70,12 +77,16 @@ func (d *Dialer) Dial() (shard.Conn, error) {
 		return nil, fmt.Errorf("shardnet: %s: handshake rejected: %s", d.Addr, w.Reason)
 	}
 	nc.SetDeadline(time.Time{})
-	return &tcpConn{
+	c := &tcpConn{
 		nc: nc, br: br,
 		hb:     time.Duration(w.HeartbeatMillis) * time.Millisecond,
 		binary: !d.ForceJSON,
 		sent:   map[shard.Hash]bool{},
-	}, nil
+	}
+	if d.Metrics != nil {
+		c.hbGap = d.Metrics.Histogram(fmt.Sprintf("shardnet_heartbeat_gap_ns{worker=%q}", d.Addr))
+	}
+	return c, nil
 }
 
 // Name identifies the transport by its worker address.
@@ -88,6 +99,12 @@ type tcpConn struct {
 	hb     time.Duration // the worker's advertised heartbeat interval
 	binary bool
 	sent   map[shard.Hash]bool
+
+	// hbGap, when non-nil, observes the wall-clock gap between
+	// consecutive heartbeat frames; lastHB is the previous heartbeat's
+	// arrival (zero outside a heartbeat run, so gaps never span jobs).
+	hbGap  *telemetry.Histogram
+	lastHB time.Time
 }
 
 // Send ships one job frame, config-by-hash once the blob has crossed
@@ -141,16 +158,25 @@ func (c *tcpConn) Recv(timeout time.Duration) (*shard.Result, error) {
 				// Liveness only; loop and re-arm the deadline. A stale
 				// heartbeat left over from a previous job is skipped
 				// the same way.
+				if c.hbGap != nil {
+					now := time.Now()
+					if !c.lastHB.IsZero() {
+						c.hbGap.Observe(now.Sub(c.lastHB).Nanoseconds())
+					}
+					c.lastHB = now
+				}
 				continue
 			case kindResult:
 				if rep.Result == nil {
 					return nil, fmt.Errorf("shardnet: result frame without a result")
 				}
+				c.lastHB = time.Time{}
 				return rep.Result, nil
 			default:
 				return nil, fmt.Errorf("shardnet: unexpected frame kind %q", rep.Kind)
 			}
 		}
+		c.lastHB = time.Time{}
 		return shard.DecodeResult(payload)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"learnability/internal/remy/shard"
+	"learnability/internal/telemetry"
 )
 
 // handshakeTimeout bounds the handshake exchange on a fresh
@@ -58,12 +59,53 @@ type Server struct {
 	DieAfter int
 	// Log, when set, receives one line per connection event.
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, records the worker's fabric series:
+	// connection count, jobs served, cache hits, NeedCfg misses,
+	// heartbeats sent, and a job evaluation-latency histogram —
+	// cmd/remyshardd serves them on `-metrics`. Set it before Serve.
+	Metrics *telemetry.Registry
 
 	jobs      atomic.Uint64 // jobs answered (cache hits included)
 	cacheHits atomic.Uint64 // jobs answered entirely from the cache
 
+	mOnce sync.Once
+	m     serverMetrics
+
 	cfgOnce sync.Once
 	cfgs    *shard.ConfigStore // server-wide, so configs survive reconnects
+}
+
+// serverMetrics holds the server's metric handles; all nil when
+// Metrics is unset, relying on telemetry's nil-safety.
+type serverMetrics struct {
+	conns      *telemetry.Gauge
+	jobs       *telemetry.Counter
+	cacheHits  *telemetry.Counter
+	cfgMisses  *telemetry.Counter
+	heartbeats *telemetry.Counter
+	jobNanos   *telemetry.Histogram
+	connTotal  *telemetry.Counter
+}
+
+// metrics lazily resolves the handle set (ServeConn runs on many
+// goroutines; the registry itself is concurrency-safe but the cached
+// handle struct is written once).
+func (s *Server) metrics() *serverMetrics {
+	s.mOnce.Do(func() {
+		if s.Metrics == nil {
+			return
+		}
+		s.m = serverMetrics{
+			conns:      s.Metrics.Gauge("shardnet_server_connections"),
+			connTotal:  s.Metrics.Counter("shardnet_server_connections_total"),
+			jobs:       s.Metrics.Counter("shardnet_server_jobs_total"),
+			cacheHits:  s.Metrics.Counter("shardnet_server_cache_hits_total"),
+			cfgMisses:  s.Metrics.Counter("shardnet_server_cfg_misses_total"),
+			heartbeats: s.Metrics.Counter("shardnet_server_heartbeats_total"),
+			jobNanos:   s.Metrics.Histogram("shardnet_server_job_ns"),
+		}
+	})
+	return &s.m
 }
 
 // configs returns the server's content-addressed config store,
@@ -191,6 +233,10 @@ func (s *Server) ServeConn(nc net.Conn) {
 	}
 	nc.SetDeadline(time.Time{})
 	s.logf("shardnet: %s: connected (protocol v%d)", nc.RemoteAddr(), s.version())
+	m := s.metrics()
+	m.connTotal.Inc()
+	m.conns.Add(1)
+	defer m.conns.Add(-1)
 
 	sn := &session{nc: nc}
 	served := 0
@@ -217,10 +263,12 @@ func (s *Server) ServeConn(nc net.Conn) {
 		if res.NeedCfg {
 			// A config-store miss answers nothing: the coordinator
 			// resends the job inline, and only that delivery counts.
+			m.cfgMisses.Inc()
 			continue
 		}
 		served++
 		s.jobs.Add(1)
+		m.jobs.Inc()
 	}
 }
 
@@ -239,15 +287,24 @@ func (s *Server) evalJob(sn *session, job *shard.Job) *shard.Result {
 	if s.Workers > 0 {
 		job.Workers = s.Workers
 	}
+	m := s.metrics()
+	var began time.Time
+	if m.jobNanos != nil {
+		began = time.Now()
+	}
 	stop := s.startHeartbeat(sn)
 	res, err := s.Eval(job)
 	stop()
+	if m.jobNanos != nil {
+		m.jobNanos.Observe(time.Since(began).Nanoseconds())
+	}
 	if err != nil {
 		return &shard.Result{ID: job.ID, Err: err.Error()}
 	}
 	res.ID = job.ID
 	if res.Cached {
 		s.cacheHits.Add(1)
+		m.cacheHits.Inc()
 	}
 	return res
 }
@@ -256,6 +313,7 @@ func (s *Server) evalJob(sn *session, job *shard.Job) *shard.Result {
 // returned stop function is called (which joins the ticker goroutine,
 // so no heartbeat write races the result write's buffer).
 func (s *Server) startHeartbeat(sn *session) (stop func()) {
+	m := s.metrics()
 	interval := s.heartbeat()
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -272,6 +330,7 @@ func (s *Server) startHeartbeat(sn *session) (stop func()) {
 				if sn.write(&reply{Kind: kindHeartbeat}) != nil {
 					return // the job loop will see the same broken pipe
 				}
+				m.heartbeats.Inc()
 			}
 		}
 	}()

@@ -370,6 +370,13 @@ type Spec struct {
 	// (default 100 ms).
 	ProbeInterval units.Duration
 
+	// Trace, when non-nil, receives a packet lifecycle event
+	// (enqueue/dequeue/drop/mark/deliver) from every link and receiver
+	// in the network. Tracers observe only — the telemetry invisibility
+	// invariant — so traced runs produce bit-identical results to
+	// untraced ones; the differential tests cross-check the two modes.
+	Trace netsim.PacketTracer
+
 	// DisablePacketPool turns off packet recycling for the run,
 	// allocating every packet afresh as the pre-pool simulator did.
 	// Results are bit-identical either way; the determinism tests
@@ -681,6 +688,14 @@ func (s *Spec) applyModes(nw *netsim.Network) {
 	if s.ECN {
 		for _, f := range nw.Flows {
 			f.Sender.SetECN(true)
+		}
+	}
+	if s.Trace != nil {
+		for i, l := range nw.Links {
+			l.SetTrace(i, s.Trace)
+		}
+		for _, f := range nw.Flows {
+			f.Receiver.SetTrace(s.Trace)
 		}
 	}
 }

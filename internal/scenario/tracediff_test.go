@@ -1,0 +1,85 @@
+package scenario
+
+// Differential tests for the telemetry plane's invisibility invariant
+// at the simulator layer: running a scenario with a packet tracer (and
+// a per-ACK CC tracer on the senders) must produce results identical
+// to the untraced run — observation never touches a random stream or a
+// float in the score path (ARCHITECTURE.md invariant 6 extended).
+
+import (
+	"reflect"
+	"testing"
+
+	"learnability/internal/cc/remycc"
+	"learnability/internal/netsim"
+	"learnability/internal/rng"
+	"learnability/internal/units"
+)
+
+// taoSenders builds n senders running a minimal trained-shape tree, so
+// the CC trace hook has whiskers to report.
+func taoSenders(n int) ([]Sender, []*remycc.RemyCC) {
+	tree := remycc.NewTree()
+	var algs []*remycc.RemyCC
+	var senders []Sender
+	for i := 0; i < n; i++ {
+		alg := remycc.New(tree)
+		algs = append(algs, alg)
+		senders = append(senders, Sender{Alg: alg, Delta: 1})
+	}
+	return senders, algs
+}
+
+func tracedSpec(queue Buffering, ecn bool) Spec {
+	s := baseSpec()
+	s.Buffering = queue
+	s.ECN = ecn
+	return s
+}
+
+func TestTracingInvisible(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		queue Buffering
+		ecn   bool
+	}{
+		{"droptail", FiniteDropTail, false},
+		{"codel-ecn", CoDelAQM, true},
+		{"sfqcodel", SfqCoDel, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := tracedSpec(tc.queue, tc.ecn)
+			plain.Senders, _ = taoSenders(2)
+			plain.Seed = rng.New(42)
+			want := MustRun(plain)
+
+			traced := tracedSpec(tc.queue, tc.ecn)
+			senders, algs := taoSenders(2)
+			traced.Senders = senders
+			traced.Seed = rng.New(42)
+			var pktEvents, ccEvents int
+			var lastT units.Time
+			traced.Trace = func(ev netsim.PacketEvent) {
+				pktEvents++
+				if ev.Time < lastT {
+					t.Errorf("trace time went backwards: %v after %v", ev.Time, lastT)
+				}
+				lastT = ev.Time
+			}
+			for _, alg := range algs {
+				alg.SetTrace(func(te remycc.TraceEntry) { ccEvents++ })
+			}
+			got := MustRun(traced)
+
+			if pktEvents == 0 {
+				t.Fatal("packet tracer saw no events")
+			}
+			if ccEvents == 0 {
+				t.Fatal("CC tracer saw no ACKs")
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tracing changed the results:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}

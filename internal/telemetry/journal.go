@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSONL event stream: one marshaled record
+// per line. It is the durable half of the observability plane — the
+// trainer writes one record per generation, remyeval one per traced
+// packet/ACK event. A nil *Journal discards everything, so emit sites
+// do not need their own enabled checks; Emit is safe for concurrent
+// use.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJournal wraps w in a journal. The caller keeps ownership of w;
+// Close flushes but does not close it.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w)}
+}
+
+// OpenJournal creates (or truncates) a journal file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open journal: %w", err)
+	}
+	return &Journal{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// Emit appends one record as a JSON line. Marshal or write errors are
+// sticky — the first one is remembered and returned by Close — so hot
+// loops can ignore Emit's error without losing the signal. No-op on a
+// nil journal.
+func (j *Journal) Emit(record any) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(record)
+	if err != nil {
+		return j.stick(err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// stick records err as the journal's sticky error and returns it.
+func (j *Journal) stick(err error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes and, for file-backed journals, closes the file. It
+// returns the first error the journal hit, so a training run cannot
+// silently lose its journal.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.w.Flush(); j.err == nil {
+		j.err = ferr
+	}
+	if j.c != nil {
+		if cerr := j.c.Close(); j.err == nil {
+			j.err = cerr
+		}
+		j.c = nil
+	}
+	return j.err
+}

@@ -48,7 +48,7 @@ fi
 
 echo "== micro benchmarks (sim / netsim / remycc) =="
 go test -run '^$' \
-  -bench 'BenchmarkScheduler$|BenchmarkSchedulerCancel|BenchmarkLinkSaturation|BenchmarkLinkFanout|BenchmarkFlowPath|BenchmarkWhiskerLookup$|BenchmarkWhiskerLookupUncached' \
+  -bench 'BenchmarkScheduler$|BenchmarkSchedulerCancel|BenchmarkLinkSaturation|BenchmarkLinkTrace|BenchmarkLinkFanout|BenchmarkFlowPath|BenchmarkWhiskerLookup$|BenchmarkWhiskerLookupUncached' \
   -benchmem -benchtime "$MICRO_BENCHTIME" -count "$BENCH_COUNT" \
   ./internal/sim/ ./internal/netsim/ ./internal/cc/remycc/ | tee "$RAW"
 
